@@ -1,0 +1,551 @@
+// Command rmbench regenerates the tables and figures of the paper's
+// evaluation (Sections 6 and Appendix B). Each subcommand prints the
+// rows or series the paper reports; see EXPERIMENTS.md for the mapping
+// and the paper-vs-measured comparison.
+//
+// Usage:
+//
+//	rmbench <experiment> [-seed N] [-quick]
+//
+// Experiments:
+//
+//	tables     Table 4 workload summary (scaled) and Table 5 designs
+//	fig3 fig4  I/O micro-benchmark throughput and latency
+//	fig5       one DB server, 1..8 memory servers
+//	fig6       1..8 DB servers, one memory server
+//	fig7 fig8  RangeScan with 20% updates (throughput / latency)
+//	fig9 fig10 RangeScan read-only
+//	fig11      RangeScan drill-down (I/O, CPU, latency)
+//	fig12      BPExt size sweep (single and multiple memory servers)
+//	fig13      impact of remote access on the memory server
+//	fig14      Hash+Sort latency per design
+//	fig15a     semantic cache: MV placement
+//	fig15b     semantic cache: seek vs scan crossover
+//	fig16      buffer-pool priming
+//	fig18      TPC-H throughput + fig19 latency histogram
+//	fig20      TPC-DS throughput + fig21 latency histogram
+//	fig22      TPC-C throughput + fig23 latency
+//	fig24      local memory sweep
+//	fig25      multiple DB servers RangeScan
+//	fig26      semantic cache recovery
+//	fig27      parallel data loading
+//	ablation   Table 1 design-choice ablations
+//	all        everything above
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"remotedb/internal/cluster"
+	"remotedb/internal/engine/loader"
+	"remotedb/internal/exp"
+	"remotedb/internal/sim"
+)
+
+var (
+	seed  = flag.Int64("seed", 1, "simulation seed")
+	quick = flag.Bool("quick", false, "reduced sizes for a fast pass")
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: rmbench <experiment> [flags]\nrun 'go doc ./cmd/rmbench' for the experiment list\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() < 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	name := flag.Arg(0)
+	start := time.Now()
+	if err := run(name); err != nil {
+		fmt.Fprintf(os.Stderr, "rmbench %s: %v\n", name, err)
+		os.Exit(1)
+	}
+	fmt.Printf("\n[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+}
+
+func run(name string) error {
+	switch name {
+	case "tables":
+		return tables()
+	case "fig3", "fig4":
+		return fig34()
+	case "fig5":
+		return fig5()
+	case "fig6":
+		return fig6()
+	case "fig7", "fig8":
+		return rangeScan(0.20)
+	case "fig9", "fig10":
+		return rangeScan(0)
+	case "fig11":
+		return fig11()
+	case "fig12":
+		return fig12()
+	case "fig13":
+		return fig13()
+	case "fig14":
+		return fig14()
+	case "fig15a":
+		return fig15a()
+	case "fig15b":
+		return fig15b()
+	case "fig16":
+		return fig16()
+	case "fig18", "fig19":
+		return tpch()
+	case "fig20", "fig21":
+		return tpcds()
+	case "fig22", "fig23":
+		return tpcc()
+	case "fig24":
+		return fig24()
+	case "fig25":
+		return fig25()
+	case "fig26":
+		return fig26()
+	case "fig27":
+		return fig27()
+	case "ablation":
+		return ablation()
+	case "all":
+		for _, n := range []string{
+			"tables", "fig3", "fig5", "fig6", "fig7", "fig9", "fig11",
+			"fig12", "fig13", "fig14", "fig15a", "fig15b", "fig16",
+			"fig18", "fig20", "fig22", "fig24", "fig25", "fig26",
+			"fig27", "ablation",
+		} {
+			fmt.Printf("\n===== %s =====\n", n)
+			if err := run(n); err != nil {
+				return fmt.Errorf("%s: %w", n, err)
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("unknown experiment %q", name)
+}
+
+func tables() error {
+	fmt.Println("Table 4 (workloads, scaled ~1000x from the paper):")
+	fmt.Println("  workload    data      local-mem  bpext    tempdb   concurrency")
+	fmt.Println("  RangeScan   ~122 MB   32 MB      128 MB   8 MB     80")
+	fmt.Println("  Hash+Sort   ~227 MB   256 MB     -        320 MB   1")
+	fmt.Println("  TPC-H       SF 0.1    10 MB      128 MB   64 MB    5 streams")
+	fmt.Println("  TPC-DS      SF 0.2    8 MB       96 MB    64 MB    5 streams")
+	fmt.Println("  TPC-C       8 WH      16 MB      32 MB    8 MB     200 clients")
+	fmt.Println()
+	fmt.Println("Table 5 (designs): HDD | HDD+SSD | SMB+RamDrive | SMBDirect+RamDrive | Custom | Local Memory")
+	return nil
+}
+
+func fig34() error {
+	res, err := exp.RunIOMicro(*seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 3/4: I/O micro-benchmark (SQLIO)")
+	fmt.Printf("  %-22s %-16s %12s %12s\n", "config", "pattern", "GB/s", "latency")
+	for _, r := range res.Rows {
+		fmt.Printf("  %-22s %-16s %12.3f %12v\n", r.Config, r.Pattern, r.BytesPerSec/1e9, r.Latency.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func fig5() error {
+	pts, err := exp.RunFig05MultiMemoryServers(*seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 5: one DB server, memory spread over N servers")
+	fmt.Printf("  %8s %14s %12s %14s %12s\n", "servers", "rnd GB/s", "rnd lat", "seq GB/s", "seq lat")
+	for _, pt := range pts {
+		fmt.Printf("  %8d %14.3f %12v %14.3f %12v\n", pt.Servers,
+			pt.RandomBPS/1e9, pt.RandomLat.Round(time.Microsecond),
+			pt.SeqBPS/1e9, pt.SeqLat.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func fig6() error {
+	pts, err := exp.RunFig06MultiDBServers(*seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 6: N DB servers on one memory server")
+	fmt.Printf("  %8s %14s %12s\n", "servers", "agg GB/s", "latency")
+	for _, pt := range pts {
+		fmt.Printf("  %8d %14.3f %12v\n", pt.Servers, pt.RandomBPS/1e9, pt.RandomLat.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func rangeScan(updates float64) error {
+	spindles := []int{4, 8, 20}
+	designs := exp.AllDesigns
+	if *quick {
+		spindles = []int{20}
+		designs = []exp.Design{exp.DesignHDDSSD, exp.DesignCustom}
+	}
+	var res []exp.RangeScanResult
+	var err error
+	if updates > 0 {
+		fmt.Println("Figures 7/8: RangeScan, 20% updates")
+		res, err = exp.RunFig0708RangeScanUpdates(*seed, spindles, designs)
+	} else {
+		fmt.Println("Figures 9/10: RangeScan, read-only")
+		res, err = exp.RunFig0910RangeScanReadOnly(*seed, spindles, designs)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-22s %10s %14s %12s %12s\n", "design", "spindles", "queries/s", "mean lat", "p95 lat")
+	for _, r := range res {
+		fmt.Printf("  %-22s %10d %14.0f %12v %12v\n", r.Design, r.Spindles,
+			r.Throughput, r.MeanLat.Round(time.Microsecond), r.P95Lat.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func fig11() error {
+	dur := 2 * time.Second
+	if *quick {
+		dur = 500 * time.Millisecond
+	}
+	dds, err := exp.RunFig11Drilldown(*seed, dur)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 11: RangeScan drill-down (means over the run)")
+	fmt.Printf("  %-22s %14s %10s\n", "design", "I/O MB/s", "CPU %")
+	for _, dd := range dds {
+		fmt.Printf("  %-22s %14.0f %10.1f\n", dd.Design, dd.IOBps.Mean()/1e6, dd.CPU.Mean())
+	}
+	lats, err := exp.RunFig11Latency(*seed, time.Second)
+	if err != nil {
+		return err
+	}
+	fmt.Println("  page-fetch latency under load (Figure 11c):")
+	for _, l := range lats {
+		fmt.Printf("  %-22s %12v\n", l.Design, l.Mean.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func fig12() error {
+	for _, multi := range []bool{false, true} {
+		pts, err := exp.RunFig12BPExtSize(*seed, multi)
+		if err != nil {
+			return err
+		}
+		label := "one memory server"
+		if multi {
+			label = "multiple memory servers"
+		}
+		fmt.Printf("Figure 12 (%s):\n", label)
+		fmt.Printf("  %10s %8s %14s %12s\n", "bpext MB", "servers", "queries/s", "mean lat")
+		for _, pt := range pts {
+			fmt.Printf("  %10d %8d %14.0f %12v\n", pt.BPExtBytes>>20, pt.Servers, pt.Throughput, pt.MeanLat.Round(time.Microsecond))
+		}
+	}
+	return nil
+}
+
+func fig13() error {
+	res, err := exp.RunFig13RemoteImpact(*seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 13: impact on the remote server's own workload")
+	fmt.Printf("  %-10s %14s %12s %12s\n", "mode", "queries/s", "mean lat", "p99 lat")
+	for _, r := range res {
+		fmt.Printf("  %-10s %14.0f %12v %12v\n", r.Mode, r.Throughput,
+			r.MeanLat.Round(time.Millisecond), r.P99Lat.Round(time.Millisecond))
+	}
+	return nil
+}
+
+func fig14() error {
+	spindles := []int{4, 8, 20}
+	designs := []exp.Design{exp.DesignHDD, exp.DesignHDDSSD, exp.DesignSMB, exp.DesignSMBDirect, exp.DesignCustom}
+	if *quick {
+		spindles = []int{20}
+		designs = []exp.Design{exp.DesignHDDSSD, exp.DesignCustom}
+	}
+	res, err := exp.RunFig14HashSort(*seed, spindles, designs)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 14: Hash+Sort latency")
+	fmt.Printf("  %-22s %10s %14s %10s %10s\n", "design", "spindles", "latency", "tempdb W", "tempdb R")
+	for _, r := range res {
+		fmt.Printf("  %-22s %10d %14v %9dM %9dM\n", r.Design, r.Spindles,
+			r.Latency.Round(time.Millisecond), r.TempDBWrote>>20, r.TempDBRead>>20)
+	}
+	return nil
+}
+
+func fig15a() error {
+	sf := 0.05
+	if *quick {
+		sf = 0.02
+	}
+	res, factor, err := exp.RunFig15aSemanticCacheMV(*seed, sf)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 15a: semantic cache (materialized views)")
+	fmt.Printf("  %6s %12s %12s %12s %10s %10s\n", "query", "base", "MV on SSD", "MV remote", "ssd x", "remote x")
+	for _, r := range res {
+		fmt.Printf("  Q%-5d %12v %12v %12v %9.0fx %9.0fx\n", r.QueryID,
+			r.BaseLatency.Round(time.Microsecond), r.SSDLatency.Round(time.Microsecond),
+			r.RemoteLat.Round(time.Microsecond), r.ImprovementSSD(), r.ImprovementRemote())
+	}
+	fmt.Printf("  aggregate remote-over-SSD factor: %.1fx\n", factor)
+	return nil
+}
+
+func fig15b() error {
+	sf := 0.05
+	if *quick {
+		sf = 0.02
+	}
+	remote, ssd, err := exp.RunFig15bSeekVsScan(*seed, sf)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 15b: INLJ vs HJ by selectivity")
+	fmt.Printf("  %12s | %12s %12s | %12s %12s\n", "selectivity", "INLJ(remote)", "HJ(remote)", "INLJ(ssd)", "HJ(ssd)")
+	for i := range remote {
+		fmt.Printf("  %12.4f | %12v %12v | %12v %12v\n", remote[i].Selectivity,
+			remote[i].INLJ.Round(time.Microsecond), remote[i].HJ.Round(time.Microsecond),
+			ssd[i].INLJ.Round(time.Microsecond), ssd[i].HJ.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func fig16() error {
+	sizes := []int64{10, 15, 20, 25}
+	if *quick {
+		sizes = []int64{10, 20}
+	}
+	res, err := exp.RunFig16Priming(*seed, sizes)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 16: buffer-pool priming")
+	fmt.Printf("  %8s %12s %12s %12s %12s %12s\n", "BP MB", "warm-up", "prime", "transfer", "cold p95", "primed p95")
+	for _, r := range res {
+		fmt.Printf("  %8d %12v %12v %12v %12v %12v\n", r.BPBytes>>20,
+			r.WarmupTime.Round(time.Millisecond), r.PrimeTime.Round(time.Millisecond),
+			r.TransferTime.Round(time.Millisecond),
+			r.ColdP95.Round(time.Millisecond), r.PrimedP95.Round(time.Millisecond))
+	}
+	return nil
+}
+
+func histogramLine(h *exp.ImprovementHistogram) string {
+	order := []string{"<2x", "2-5x", "5-10x", "10-50x", "50-100x", ">=100x"}
+	s := ""
+	for _, b := range order {
+		s += fmt.Sprintf(" %s:%d", b, h.Buckets[b])
+	}
+	return s
+}
+
+func tpch() error {
+	prm := exp.DefaultTPCHParams()
+	designs := exp.AllDesigns
+	if *quick {
+		prm.SF = 0.02
+		prm.BPExtBytes = 32 << 20
+		prm.QueryIDs = []int{1, 3, 6, 10, 18}
+		designs = []exp.Design{exp.DesignHDDSSD, exp.DesignCustom}
+	}
+	fmt.Println("Figure 18: TPC-H throughput (queries/hour)")
+	results := make(map[exp.Design]*exp.TPCHResult)
+	for _, d := range designs {
+		r, err := exp.RunTPCH(*seed, d, prm)
+		if err != nil {
+			return err
+		}
+		results[d] = r
+		fmt.Printf("  %-22s %12.0f q/h  (spilling queries: %d)\n", d, r.QueriesPerHour, r.SpilledQueries)
+	}
+	if base, ok := results[exp.DesignHDDSSD]; ok {
+		if cust, ok := results[exp.DesignCustom]; ok {
+			h := exp.Improvements(base.QueryLatencies, cust.QueryLatencies)
+			fmt.Println("Figure 19: latency improvement histogram (Custom vs HDD+SSD):")
+			fmt.Println(" " + histogramLine(h))
+			var ids []int
+			for id := range h.Factors {
+				ids = append(ids, id)
+			}
+			sort.Ints(ids)
+			for _, id := range ids {
+				fmt.Printf("    Q%-3d %8.1fx\n", id, h.Factors[id])
+			}
+		}
+	}
+	return nil
+}
+
+func tpcds() error {
+	prm := exp.DefaultTPCDSParams()
+	designs := exp.AllDesigns
+	if *quick {
+		prm.SF = 0.05
+		prm.BPExtBytes = 32 << 20
+		prm.QueryIDs = []int{1, 5, 10, 20, 30, 40, 50}
+		designs = []exp.Design{exp.DesignHDDSSD, exp.DesignCustom}
+	}
+	fmt.Println("Figure 20: TPC-DS throughput (queries/hour)")
+	results := make(map[exp.Design]*exp.TPCHResult)
+	for _, d := range designs {
+		r, err := exp.RunTPCDS(*seed, d, prm)
+		if err != nil {
+			return err
+		}
+		results[d] = r
+		fmt.Printf("  %-22s %12.0f q/h\n", d, r.QueriesPerHour)
+	}
+	if base, ok := results[exp.DesignHDDSSD]; ok {
+		if cust, ok := results[exp.DesignCustom]; ok {
+			h := exp.Improvements(base.QueryLatencies, cust.QueryLatencies)
+			fmt.Println("Figure 21: latency improvement histogram (Custom vs HDD+SSD):")
+			fmt.Println(" " + histogramLine(h))
+		}
+	}
+	return nil
+}
+
+func tpcc() error {
+	prm := exp.DefaultTPCCParams()
+	designs := exp.AllDesigns
+	if *quick {
+		prm.Cfg.Warehouses = 4
+		prm.Cfg.Clients = 50
+		designs = []exp.Design{exp.DesignHDDSSD, exp.DesignCustom}
+	}
+	for _, rm := range []bool{false, true} {
+		label := "Default TPCC"
+		if rm {
+			label = "Read-Mostly TPCC"
+		}
+		fmt.Printf("Figures 22/23: %s\n", label)
+		fmt.Printf("  %-22s %14s %12s\n", "design", "tx/s", "mean lat")
+		for _, d := range designs {
+			r, err := exp.RunTPCC(*seed, d, rm, prm)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("  %-22s %14.0f %12v\n", d, r.Throughput, r.MeanLat.Round(time.Microsecond))
+		}
+	}
+	return nil
+}
+
+func fig24() error {
+	pts, err := exp.RunFig24LocalMemorySweep(*seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 24: local memory sweep (RangeScan)")
+	fmt.Printf("  %10s %-22s %14s %12s\n", "local MB", "design", "queries/s", "mean lat")
+	for _, pt := range pts {
+		fmt.Printf("  %10d %-22s %14.0f %12v\n", pt.LocalMemBytes>>20, pt.Design, pt.Throughput, pt.MeanLat.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func fig25() error {
+	pts, err := exp.RunFig25MultiDBRangeScan(*seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 25: N database servers sharing one memory server")
+	fmt.Printf("  %8s %14s %12s\n", "servers", "agg q/s", "mean lat")
+	for _, pt := range pts {
+		fmt.Printf("  %8d %14.0f %12v\n", pt.DBServers, pt.Throughput, pt.MeanLat.Round(time.Microsecond))
+	}
+	return nil
+}
+
+func fig26() error {
+	pts, err := exp.RunFig26CacheRecovery(*seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println("Figure 26: semantic-cache recovery from the WAL")
+	fmt.Printf("  %10s %14s %10s\n", "dirty MB", "recovery", "records")
+	for _, pt := range pts {
+		fmt.Printf("  %10d %14v %10d\n", pt.DirtyBytes>>20, pt.RecoveryTime.Round(time.Millisecond), pt.Replayed)
+	}
+	return nil
+}
+
+func fig27() error {
+	fmt.Println("Figure 27: parallel data loading (80 splits x 2 MB)")
+	fmt.Printf("  %8s %12s %12s %12s\n", "servers", "load", "copy", "total")
+	for _, n := range []int{1, 2, 4, 8} {
+		var st loader.Stats
+		err := exp.RunInSim(*seed, time.Hour, func(p *sim.Proc) error {
+			cfg := cluster.DefaultConfig()
+			cfg.MemoryBytes = 1 << 30
+			var servers []*cluster.Server
+			for i := 0; i < n; i++ {
+				servers = append(servers, cluster.NewServer(p.Kernel(), fmt.Sprintf("s%d", i+1), cfg))
+			}
+			var splits []loader.Split
+			for i := 0; i < 80; i++ {
+				splits = append(splits, loader.Split{Name: fmt.Sprintf("split-%d", i), Bytes: 2 << 20})
+			}
+			st = loader.LoadParallel(p, servers, splits, loader.DefaultCostModel())
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("  %8d %12v %12v %12v\n", n, st.LoadTime.Round(time.Millisecond),
+			st.CopyTime.Round(time.Millisecond), st.WallClock.Round(time.Millisecond))
+	}
+	return nil
+}
+
+func ablation() error {
+	fmt.Println("Table 1 ablations (8K random reads over RDMA):")
+	a, err := exp.RunAblationSyncVsAsync(*seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-28s chosen(%s)=%v  alt(%s)=%v  (%.2fx)\n",
+		a.Choice, a.Chosen, a.ChosenLat.Round(time.Microsecond),
+		a.Alternative, a.AltLat.Round(time.Microsecond), a.Factor())
+	b, err := exp.RunAblationRegistration(*seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-28s chosen(%s)=%v  alt(%s)=%v  (%.2fx)\n",
+		b.Choice, b.Chosen, b.ChosenLat.Round(time.Microsecond),
+		b.Alternative, b.AltLat.Round(time.Microsecond), b.Factor())
+	c, err := exp.RunAblationEncryption(*seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-28s chosen(%s)=%v  alt(%s)=%v  (%.2fx)\n",
+		c.Choice, c.Chosen, c.ChosenLat.Round(time.Microsecond),
+		c.Alternative, c.AltLat.Round(time.Microsecond), c.Factor())
+	d, err := exp.RunAblationAdaptive(*seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %-28s chosen(%s)=%v  alt(%s)=%v  (%.2fx)\n",
+		d.Choice, d.Chosen, d.ChosenLat.Round(time.Microsecond),
+		d.Alternative, d.AltLat.Round(time.Microsecond), d.Factor())
+	return nil
+}

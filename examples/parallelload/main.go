@@ -1,0 +1,51 @@
+// Parallel data loading (the paper's Appendix C, Figure 27).
+//
+// Loading flat files is CPU-bound on a single server. Offloading splits
+// to idle servers — each converts its splits to native format in its own
+// memory, then the destination pulls the results over RDMA — scales the
+// load nearly linearly.
+//
+// Run with: go run ./examples/parallelload
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"remotedb"
+	"remotedb/internal/cluster"
+	"remotedb/internal/engine/loader"
+)
+
+func main() {
+	fmt.Println("Loading 80 flat-file splits of 2 MiB (160 MiB raw):")
+	var single time.Duration
+	for _, n := range []int{1, 2, 4, 8} {
+		n := n
+		err := remotedb.RunInSim(1, time.Hour, func(p *remotedb.Proc) error {
+			var servers []*cluster.Server
+			for i := 0; i < n; i++ {
+				servers = append(servers, cluster.NewServer(p.Kernel(),
+					fmt.Sprintf("s%d", i+1), remotedb.DefaultServerConfig()))
+			}
+			var splits []loader.Split
+			for i := 0; i < 80; i++ {
+				splits = append(splits, loader.Split{Name: fmt.Sprintf("split-%02d", i), Bytes: 2 << 20})
+			}
+			st := loader.LoadParallel(p, servers, splits, loader.DefaultCostModel())
+			if n == 1 {
+				single = st.WallClock
+			}
+			fmt.Printf("  %d server(s): load %8v + rdma copy %8v = %8v  (%.1fx speedup)\n",
+				n, st.LoadTime.Round(time.Millisecond), st.CopyTime.Round(time.Millisecond),
+				st.WallClock.Round(time.Millisecond), single.Seconds()/st.WallClock.Seconds())
+			return nil
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("\nThe copy phase stays negligible because pulling converted partitions")
+	fmt.Println("over RDMA is fast relative to parsing — the paper measures ~7.7x on 8 servers.")
+}

@@ -1,0 +1,3 @@
+module remotedb
+
+go 1.22

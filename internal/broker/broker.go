@@ -1,0 +1,382 @@
+// Package broker implements the cluster memory broker of Section 4.2:
+// servers with unused memory run a proxy that pins free memory into
+// fixed-size memory regions (MRs) and registers them with the broker;
+// database servers with unmet memory demand request timed, exclusive
+// leases on remote MRs. Lease metadata lives in the metastore (the
+// ZooKeeper stand-in), so a broker failure is survivable by electing a
+// new broker that reloads the state. The broker is on the control path
+// only — data moves directly between the servers over RDMA.
+package broker
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"remotedb/internal/broker/metastore"
+	"remotedb/internal/cluster"
+	"remotedb/internal/rmem"
+	"remotedb/internal/sim"
+)
+
+// Errors returned by broker operations.
+var (
+	ErrNoMemory     = errors.New("broker: no available remote memory")
+	ErrLeaseUnknown = errors.New("broker: unknown lease")
+	ErrLeaseExpired = errors.New("broker: lease expired")
+	ErrQuota        = errors.New("broker: holder exceeded its fair share")
+)
+
+// LeaseID identifies a lease.
+type LeaseID int64
+
+// Lease grants a database server exclusive access to one MR until expiry
+// (unless renewed).
+type Lease struct {
+	ID        LeaseID
+	MR        *rmem.MR
+	Holder    string // database server name
+	ExpiresAt time.Duration
+	revoked   bool
+}
+
+// Valid reports whether the lease is still usable at virtual time now.
+func (l *Lease) Valid(now time.Duration) bool {
+	return !l.revoked && !l.MR.Revoked() && now < l.ExpiresAt
+}
+
+// leaseMeta is the durable record kept in the metastore.
+type leaseMeta struct {
+	Holder    string `json:"holder"`
+	Server    string `json:"server"`
+	MRIndex   int    `json:"mr"`
+	ExpiresNS int64  `json:"expires_ns"`
+}
+
+// Placement chooses how MRs for one request are spread over servers.
+type Placement int
+
+const (
+	// PlacePack fills one server before moving to the next.
+	PlacePack Placement = iota
+	// PlaceSpread round-robins across servers with free MRs (used by the
+	// multi-memory-server experiments, Figures 5 and 12b).
+	PlaceSpread
+)
+
+// Proxy is the memory-brokering process on a server with spare memory.
+type Proxy struct {
+	Server *cluster.Server
+	Pool   *rmem.Pool
+	broker *Broker
+	failed bool
+}
+
+// Broker tracks cluster memory availability and grants leases.
+type Broker struct {
+	k        *sim.Kernel
+	store    *metastore.Store
+	leaseTTL time.Duration
+	proxies  []*Proxy
+	leases   map[LeaseID]*Lease
+	nextID   LeaseID
+	rrIdx    int     // persistent round-robin cursor for PlaceSpread
+	maxFrac  float64 // fair-share cap per holder (0 = unlimited)
+
+	Grants, Renewals, Expirations, Revocations int64
+}
+
+// Config parameterizes the broker.
+type Config struct {
+	LeaseTTL time.Duration
+
+	// MaxFractionPerHolder caps one database server's share of the
+	// cluster's brokered MRs (0 disables). This is the "fairness across
+	// multiple workloads" brokering policy the paper lists as future
+	// work in Section 7.
+	MaxFractionPerHolder float64
+}
+
+// DefaultConfig uses a 10 s lease TTL and no fairness cap.
+func DefaultConfig() Config { return Config{LeaseTTL: 10 * time.Second} }
+
+// New creates a broker backed by store. p is the bootstrapping process.
+func New(p *sim.Proc, store *metastore.Store, cfg Config) *Broker {
+	b := &Broker{
+		k:        p.Kernel(),
+		store:    store,
+		leaseTTL: cfg.LeaseTTL,
+		maxFrac:  cfg.MaxFractionPerHolder,
+		leases:   make(map[LeaseID]*Lease),
+	}
+	if !store.Exists(p, "/broker") {
+		store.Create(p, "/broker", nil, 0)
+		store.Create(p, "/broker/leases", nil, 0)
+	}
+	return b
+}
+
+// LeaseTTL returns the configured time-to-live.
+func (b *Broker) LeaseTTL() time.Duration { return b.leaseTTL }
+
+// AddProxy starts a brokering proxy on server, pinning mrCount regions of
+// mrSize bytes each from the server's free memory, and wires up the
+// memory-pressure notification so local demand reclaims brokered memory.
+func (b *Broker) AddProxy(p *sim.Proc, server *cluster.Server, mrSize, mrCount int) (*Proxy, error) {
+	pool, err := rmem.NewPool(p, server, mrSize, mrCount)
+	if err != nil {
+		return nil, err
+	}
+	px := &Proxy{Server: server, Pool: pool, broker: b}
+	server.OnMemoryPressure(func(need int64) {
+		b.handlePressure(px, need)
+	})
+	b.proxies = append(b.proxies, px)
+	return px, nil
+}
+
+// handlePressure releases brokered memory on px's server: free MRs first,
+// then revoking live leases until the shortfall is covered.
+func (b *Broker) handlePressure(px *Proxy, need int64) {
+	released := px.Pool.Shrink(need)
+	if released >= need {
+		return
+	}
+	for id, l := range b.leases {
+		if released >= need {
+			break
+		}
+		if l.MR.Owner == px.Server && !l.revoked {
+			size := int64(l.MR.Size())
+			b.revoke(id)
+			released += size
+		}
+	}
+}
+
+// revoke tears down a lease and reclaims its MR's memory.
+func (b *Broker) revoke(id LeaseID) {
+	l, ok := b.leases[id]
+	if !ok {
+		return
+	}
+	l.revoked = true
+	b.Revocations++
+	delete(b.leases, id)
+	// Reclaim: drop the MR entirely (memory goes back to the OS).
+	for _, px := range b.proxies {
+		if px.Server == l.MR.Owner {
+			px.Pool.ReleaseMR(l.MR)
+			px.Pool.Shrink(int64(l.MR.Size()))
+			break
+		}
+	}
+}
+
+// Request grants n leases of whole MRs, placed per policy. All MRs in one
+// grant have the pool's fixed size.
+func (b *Broker) Request(p *sim.Proc, holder string, n int, place Placement) ([]*Lease, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	avail := 0
+	total := 0
+	for _, px := range b.proxies {
+		if !px.failed {
+			avail += px.Pool.FreeCount()
+			total += px.Pool.TotalCount()
+		}
+	}
+	if avail < n {
+		return nil, ErrNoMemory
+	}
+	if b.maxFrac > 0 {
+		held := 0
+		for _, l := range b.leases {
+			if l.Holder == holder {
+				held++
+			}
+		}
+		if float64(held+n) > b.maxFrac*float64(total) {
+			return nil, ErrQuota
+		}
+	}
+	var out []*Lease
+	for len(out) < n {
+		var px *Proxy
+		switch place {
+		case PlaceSpread:
+			// Round-robin over proxies with free MRs.
+			for tries := 0; tries < len(b.proxies); tries++ {
+				cand := b.proxies[b.rrIdx%len(b.proxies)]
+				b.rrIdx++
+				if !cand.failed && cand.Pool.FreeCount() > 0 {
+					px = cand
+					break
+				}
+			}
+		default:
+			for _, cand := range b.proxies {
+				if !cand.failed && cand.Pool.FreeCount() > 0 {
+					px = cand
+					break
+				}
+			}
+		}
+		if px == nil {
+			// Races cannot happen (single-threaded sim), but keep the
+			// invariant honest.
+			return nil, ErrNoMemory
+		}
+		mr, err := px.Pool.Acquire()
+		if err != nil {
+			return nil, err
+		}
+		b.nextID++
+		l := &Lease{
+			ID:        b.nextID,
+			MR:        mr,
+			Holder:    holder,
+			ExpiresAt: p.Now() + b.leaseTTL,
+		}
+		b.leases[l.ID] = l
+		b.persist(p, l)
+		b.Grants++
+		out = append(out, l)
+	}
+	return out, nil
+}
+
+func leasePath(id LeaseID) string { return fmt.Sprintf("/broker/leases/%d", id) }
+
+func (b *Broker) persist(p *sim.Proc, l *Lease) {
+	meta, _ := json.Marshal(leaseMeta{
+		Holder:    l.Holder,
+		Server:    l.MR.Owner.Name,
+		MRIndex:   l.MR.ID.Index,
+		ExpiresNS: int64(l.ExpiresAt),
+	})
+	path := leasePath(l.ID)
+	if b.store.Exists(p, path) {
+		b.store.Set(p, path, meta, -1)
+	} else {
+		b.store.Create(p, path, meta, 0)
+	}
+}
+
+// Renew extends a lease by the TTL. Expired or revoked leases cannot be
+// renewed — the holder must request a fresh MR.
+func (b *Broker) Renew(p *sim.Proc, l *Lease) error {
+	cur, ok := b.leases[l.ID]
+	if !ok || cur != l {
+		return ErrLeaseUnknown
+	}
+	if !l.Valid(p.Now()) {
+		return ErrLeaseExpired
+	}
+	l.ExpiresAt = p.Now() + b.leaseTTL
+	b.persist(p, l)
+	b.Renewals++
+	return nil
+}
+
+// Release voluntarily gives a lease back; its MR returns to the free pool.
+func (b *Broker) Release(p *sim.Proc, l *Lease) {
+	cur, ok := b.leases[l.ID]
+	if !ok || cur != l {
+		return
+	}
+	delete(b.leases, l.ID)
+	b.store.Delete(p, leasePath(l.ID), -1)
+	l.revoked = true
+	for _, px := range b.proxies {
+		if px.Server == l.MR.Owner {
+			px.Pool.ReleaseMR(l.MR)
+			return
+		}
+	}
+}
+
+// ExpireLoop runs as a background process, revoking leases whose holders
+// stopped renewing. Interval controls the sweep cadence.
+func (b *Broker) ExpireLoop(p *sim.Proc, interval time.Duration) {
+	for {
+		p.Sleep(interval)
+		now := p.Now()
+		for id, l := range b.leases {
+			if now >= l.ExpiresAt {
+				b.Expirations++
+				b.revoke(id)
+			}
+		}
+	}
+}
+
+// FailProxy simulates a crash of a memory server: all its MRs (leased or
+// not) vanish. Holders observe rmem.ErrRevoked on next access.
+func (b *Broker) FailProxy(px *Proxy) {
+	px.failed = true
+	px.Pool.RevokeAll()
+	for id, l := range b.leases {
+		if l.MR.Owner == px.Server {
+			l.revoked = true
+			delete(b.leases, id)
+			b.Revocations++
+		}
+	}
+}
+
+// ActiveLeases returns the number of live leases.
+func (b *Broker) ActiveLeases() int { return len(b.leases) }
+
+// FreeMRs returns cluster-wide unleased MRs.
+func (b *Broker) FreeMRs() int {
+	total := 0
+	for _, px := range b.proxies {
+		if !px.failed {
+			total += px.Pool.FreeCount()
+		}
+	}
+	return total
+}
+
+// Recover builds a replacement broker from the metastore after the old
+// broker failed, re-adopting the given proxies and their outstanding
+// leases. Leases whose metadata refers to unknown proxies are dropped.
+// It returns the recovered lease objects keyed by the old IDs so holders
+// can be re-pointed.
+func Recover(p *sim.Proc, store *metastore.Store, cfg Config, proxies []*Proxy, live map[LeaseID]*Lease) (*Broker, error) {
+	b := New(p, store, cfg)
+	for _, px := range proxies {
+		px.broker = b
+		b.proxies = append(b.proxies, px)
+	}
+	names, err := store.Children(p, "/broker/leases")
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range names {
+		var id LeaseID
+		fmt.Sscanf(name, "%d", &id)
+		data, _, err := store.Get(p, "/broker/leases/"+name)
+		if err != nil {
+			continue
+		}
+		var meta leaseMeta
+		if err := json.Unmarshal(data, &meta); err != nil {
+			continue
+		}
+		l, ok := live[id]
+		if !ok || l.MR.Owner.Name != meta.Server {
+			store.Delete(p, "/broker/leases/"+name, -1)
+			continue
+		}
+		l.ExpiresAt = time.Duration(meta.ExpiresNS)
+		b.leases[id] = l
+		if id > b.nextID {
+			b.nextID = id
+		}
+	}
+	return b, nil
+}

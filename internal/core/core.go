@@ -1,0 +1,322 @@
+// Package core implements the paper's primary contribution: the
+// lightweight file API over remote memory (Table 2). A remote file is a
+// set of leased, fixed-size memory regions scattered across the cluster's
+// memory servers; Create obtains leases, Open connects RDMA flows,
+// Read/Write translate file offsets to (server, MR, offset) and issue
+// RDMA transfers, Close disconnects, and Delete relinquishes the leases.
+//
+// The abstraction is deliberately best-effort (Section 4.1.5): if a
+// memory server fails or a lease is revoked under memory pressure, the
+// file turns ErrUnavailable and the consumer falls back to disk. No
+// correctness ever depends on remote memory.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"remotedb/internal/broker"
+	"remotedb/internal/hw/nic"
+	"remotedb/internal/rmem"
+	"remotedb/internal/sim"
+	"remotedb/internal/vfs"
+)
+
+// ConnectCost is the one-time cost of setting up an RDMA flow (queue
+// pair) to one memory server on Open.
+const ConnectCost = 100 * time.Microsecond
+
+// FS creates and opens remote-memory files for one database server.
+type FS struct {
+	Broker    *broker.Broker
+	Client    *rmem.Client
+	Transport rmem.Transport
+	Placement broker.Placement
+
+	// AutoRenew spawns a background renewal process per file keeping its
+	// leases alive at half-TTL cadence.
+	AutoRenew bool
+
+	files map[string]*File
+}
+
+// Config parameterizes an FS.
+type Config struct {
+	Protocol  nic.Protocol
+	Placement broker.Placement
+	Client    rmem.ClientConfig
+	AutoRenew bool
+}
+
+// DefaultConfig is the paper's Custom design.
+func DefaultConfig() Config {
+	return Config{
+		Protocol:  nic.ProtoRDMA,
+		Placement: broker.PlaceSpread,
+		Client:    rmem.DefaultClientConfig(),
+		AutoRenew: true,
+	}
+}
+
+// NewFS creates a remote file system client on the database server that
+// owns client. The client's staging buffers are registered here.
+func NewFS(p *sim.Proc, b *broker.Broker, client *rmem.Client, cfg Config) *FS {
+	return &FS{
+		Broker:    b,
+		Client:    client,
+		Transport: rmem.NewTransport(cfg.Protocol),
+		Placement: cfg.Placement,
+		AutoRenew: cfg.AutoRenew,
+		files:     make(map[string]*File),
+	}
+}
+
+// File is a remote-memory file (vfs.File).
+type File struct {
+	fs     *FS
+	name   string
+	size   int64
+	mrSize int64
+	leases []*broker.Lease
+
+	open        bool
+	closed      bool
+	deleted     bool
+	unavailable bool
+	renewStop   bool
+
+	connected map[string]bool
+
+	Reads, Writes      int64
+	BytesRead, Written int64
+}
+
+// Errors returned by the remote file layer.
+var (
+	ErrExists    = errors.New("core: file already exists")
+	ErrNotFound  = errors.New("core: file does not exist")
+	ErrNotOpen   = errors.New("core: file not open")
+	ErrTooLarge  = errors.New("core: access beyond file size")
+	ErrNoLeases  = errors.New("core: could not lease remote memory")
+	ErrAlignment = errors.New("core: file size must be positive")
+)
+
+// Create leases remote MRs backing a file of the given size. The file
+// still needs Open before I/O.
+func (fs *FS) Create(p *sim.Proc, name string, size int64) (*File, error) {
+	if _, dup := fs.files[name]; dup {
+		return nil, ErrExists
+	}
+	if size <= 0 {
+		return nil, ErrAlignment
+	}
+	probe, err := fs.Broker.Request(p, fs.Client.Server.Name, 1, fs.Placement)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrNoLeases, err)
+	}
+	mrSize := int64(probe[0].MR.Size())
+	need := int((size + mrSize - 1) / mrSize)
+	leases := probe
+	if need > 1 {
+		more, err := fs.Broker.Request(p, fs.Client.Server.Name, need-1, fs.Placement)
+		if err != nil {
+			fs.Broker.Release(p, probe[0])
+			return nil, fmt.Errorf("%w: %v", ErrNoLeases, err)
+		}
+		leases = append(leases, more...)
+	}
+	f := &File{
+		fs:        fs,
+		name:      name,
+		size:      size,
+		mrSize:    mrSize,
+		leases:    leases,
+		connected: make(map[string]bool),
+	}
+	fs.files[name] = f
+	if fs.AutoRenew {
+		p.Kernel().Go("lease-renew:"+name, f.renewLoop)
+	}
+	return f, nil
+}
+
+// Open connects RDMA flows to every memory server backing the file.
+func (fs *FS) Open(p *sim.Proc, name string) (*File, error) {
+	f, ok := fs.files[name]
+	if !ok {
+		return nil, ErrNotFound
+	}
+	return f, f.OpenConn(p)
+}
+
+// OpenConn establishes connections for an already-created file.
+func (f *File) OpenConn(p *sim.Proc) error {
+	if f.closed || f.deleted {
+		return vfs.ErrClosed
+	}
+	for _, l := range f.leases {
+		server := l.MR.Owner.Name
+		if !f.connected[server] {
+			p.Sleep(ConnectCost)
+			f.connected[server] = true
+		}
+	}
+	f.open = true
+	return nil
+}
+
+// CloseAll closes every file of this FS (stopping lease-renewal
+// processes); leases stay valid until they expire or the files are
+// Deleted. Call at the end of an experiment so the simulation's event
+// queue can drain.
+func (fs *FS) CloseAll(p *sim.Proc) {
+	for _, f := range fs.files {
+		f.Close(p)
+	}
+}
+
+// Delete closes the file and relinquishes all its leases.
+func (fs *FS) Delete(p *sim.Proc, name string) error {
+	f, ok := fs.files[name]
+	if !ok {
+		return ErrNotFound
+	}
+	f.deleted = true
+	f.open = false
+	f.renewStop = true
+	for _, l := range f.leases {
+		fs.Broker.Release(p, l)
+	}
+	delete(fs.files, name)
+	return nil
+}
+
+// renewLoop keeps the file's leases alive until stopped.
+func (f *File) renewLoop(p *sim.Proc) {
+	interval := f.fs.Broker.LeaseTTL() / 2
+	for {
+		p.Sleep(interval)
+		if f.renewStop || f.deleted {
+			return
+		}
+		for _, l := range f.leases {
+			if err := f.fs.Broker.Renew(p, l); err != nil {
+				// A lease we cannot renew means the region is gone:
+				// degrade to unavailable, best-effort semantics.
+				f.unavailable = true
+				return
+			}
+		}
+	}
+}
+
+// Name returns the file name.
+func (f *File) Name() string { return f.name }
+
+// Size returns the created size.
+func (f *File) Size() int64 { return f.size }
+
+// Unavailable reports whether the file lost its backing memory.
+func (f *File) Unavailable() bool { return f.unavailable }
+
+// Servers returns the distinct memory servers backing the file.
+func (f *File) Servers() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, l := range f.leases {
+		name := l.MR.Owner.Name
+		if !seen[name] {
+			seen[name] = true
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+func (f *File) check(off int64, n int) error {
+	if f.closed || f.deleted {
+		return vfs.ErrClosed
+	}
+	if !f.open {
+		return ErrNotOpen
+	}
+	if f.unavailable {
+		return vfs.ErrUnavailable
+	}
+	if off < 0 || off+int64(n) > f.size {
+		return ErrTooLarge
+	}
+	return nil
+}
+
+// access splits the range [off, off+len(b)) across MRs and issues one
+// transfer per fragment.
+func (f *File) access(p *sim.Proc, b []byte, off int64, write bool) error {
+	if err := f.check(off, len(b)); err != nil {
+		return err
+	}
+	for len(b) > 0 {
+		idx := off / f.mrSize
+		within := off % f.mrSize
+		n := f.mrSize - within
+		if n > int64(len(b)) {
+			n = int64(len(b))
+		}
+		l := f.leases[idx]
+		if !l.Valid(p.Now()) {
+			f.unavailable = true
+			return vfs.ErrUnavailable
+		}
+		var err error
+		if write {
+			err = f.fs.Transport.Write(p, f.fs.Client, l.MR, int(within), b[:n])
+		} else {
+			err = f.fs.Transport.Read(p, f.fs.Client, l.MR, int(within), b[:n])
+		}
+		if err != nil {
+			if errors.Is(err, rmem.ErrRevoked) {
+				f.unavailable = true
+				return vfs.ErrUnavailable
+			}
+			return err
+		}
+		b = b[n:]
+		off += n
+	}
+	if write {
+		f.Writes++
+	} else {
+		f.Reads++
+	}
+	return nil
+}
+
+// ReadAt reads len(b) bytes at off via RDMA.
+func (f *File) ReadAt(p *sim.Proc, b []byte, off int64) error {
+	err := f.access(p, b, off, false)
+	if err == nil {
+		f.BytesRead += int64(len(b))
+	}
+	return err
+}
+
+// WriteAt writes b at off via RDMA.
+func (f *File) WriteAt(p *sim.Proc, b []byte, off int64) error {
+	err := f.access(p, b, off, true)
+	if err == nil {
+		f.Written += int64(len(b))
+	}
+	return err
+}
+
+// Close tears down connections; leases are kept (reopen is possible)
+// until Delete.
+func (f *File) Close(p *sim.Proc) error {
+	f.open = false
+	f.closed = true
+	f.renewStop = true
+	return nil
+}
+
+var _ vfs.File = (*File)(nil)

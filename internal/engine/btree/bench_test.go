@@ -1,0 +1,98 @@
+package btree
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"remotedb/internal/cluster"
+	"remotedb/internal/engine/buffer"
+	"remotedb/internal/engine/row"
+	"remotedb/internal/hw/disk"
+	"remotedb/internal/sim"
+	"remotedb/internal/vfs"
+)
+
+// benchTree builds a tree with n entries on a null device and hands it
+// to fn inside a simulation process.
+func benchTree(b *testing.B, n int, fn func(p *sim.Proc, tr *Tree)) {
+	b.Helper()
+	k := sim.New(1)
+	cfg := cluster.DefaultConfig()
+	cfg.MemoryBytes = 1 << 30
+	s := cluster.NewServer(k, "db", cfg)
+	k.Go("bench", func(p *sim.Proc) {
+		bcfg := buffer.DefaultConfig(1 << 16)
+		bcfg.WriterPeriod = 0
+		bcfg.PageAccessCPU = 0
+		bp, err := buffer.New(p, s, vfs.NewDeviceFile("d", disk.NullDevice{DeviceName: "null"}), bcfg)
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		tr, err := New(p, bp, "bench")
+		if err != nil {
+			b.Error(err)
+			return
+		}
+		pairs := make([]Pair, n)
+		for i := range pairs {
+			pairs[i] = Pair{
+				Key: row.EncodeKey(nil, int64(i)),
+				Val: []byte(fmt.Sprintf("value-%d", i)),
+			}
+		}
+		if err := tr.BulkLoad(p, pairs, 0.9); err != nil {
+			b.Error(err)
+			return
+		}
+		fn(p, tr)
+	})
+	k.Run(time.Hour)
+}
+
+func BenchmarkBTreeSearch(b *testing.B) {
+	benchTree(b, 100000, func(p *sim.Proc, tr *Tree) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			key := row.EncodeKey(nil, int64(i%100000))
+			if _, err := tr.Search(p, key); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkBTreeInsert(b *testing.B) {
+	benchTree(b, 10000, func(p *sim.Proc, tr *Tree) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			key := row.EncodeKey(nil, int64(1000000+i))
+			if err := tr.Insert(p, key, []byte("benchval")); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkBTreeScan1000(b *testing.B) {
+	benchTree(b, 100000, func(p *sim.Proc, tr *Tree) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			from := row.EncodeKey(nil, int64((i*1000)%90000))
+			to := row.EncodeKey(nil, int64((i*1000)%90000+1000))
+			if _, err := tr.ScanRange(p, from, to, 0); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+}
+
+func BenchmarkBulkLoad100K(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		benchTree(b, 100000, func(p *sim.Proc, tr *Tree) {})
+	}
+}

@@ -1,0 +1,513 @@
+// Package btree implements the engine's B+tree over buffer-pool pages:
+// clustered indexes (rows in the leaves) and secondary indexes (key →
+// primary key) both use it. The design is a B-link tree: every node
+// carries a high key and a right-sibling link, so readers never latch —
+// if a concurrent split moved their key range, they follow the link
+// right. Structure modifications serialize on a per-tree mutex; plain
+// inserts and updates only pin the leaf they touch.
+//
+// In-page records are unsorted (appended) and searched linearly; pages
+// hold a few dozen records, so the linear scan is cheaper than
+// maintaining sorted slot directories, and range scans sort per page.
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+
+	"remotedb/internal/engine/buffer"
+	"remotedb/internal/engine/page"
+	"remotedb/internal/sim"
+)
+
+// Errors returned by tree operations.
+var (
+	ErrDuplicate = errors.New("btree: duplicate key")
+	ErrNotFound  = errors.New("btree: key not found")
+	ErrTooBig    = errors.New("btree: entry larger than half a page")
+)
+
+// maxEntry bounds one (key,value) record so two always fit in a page.
+const maxEntry = (page.Size - page.HeaderSize - 64) / 2
+
+// Tree is a B-link tree rooted in a buffer pool.
+type Tree struct {
+	Name string
+
+	bp     *buffer.Pool
+	root   uint64
+	height int
+	smo    *sim.Resource // serializes structure modifications
+
+	Entries int64 // live entry count (maintained by Insert/Delete)
+}
+
+// New creates an empty tree (a single empty leaf).
+func New(p *sim.Proc, bp *buffer.Pool, name string) (*Tree, error) {
+	h, no, err := bp.Allocate(p, page.TypeBTreeLeaf)
+	if err != nil {
+		return nil, err
+	}
+	initNode(h.Page(), page.TypeBTreeLeaf, nil)
+	h.MarkDirty(0)
+	h.Release()
+	return &Tree{
+		Name:   name,
+		bp:     bp,
+		root:   no,
+		height: 1,
+		smo:    sim.NewResource(bp.Server().K, name+"/smo", 1),
+	}, nil
+}
+
+// Pool returns the tree's buffer pool.
+func (t *Tree) Pool() *buffer.Pool { return t.bp }
+
+// Root returns the current root page number.
+func (t *Tree) Root() uint64 { return t.root }
+
+// Height returns the number of levels.
+func (t *Tree) Height() int { return t.height }
+
+// --- node record encoding ------------------------------------------------
+//
+// Slot 0 of every node is the high key: empty = +inf. Slots >= 1 are
+// entries. Leaf entry: [klen u16][key][value]. Inner entry:
+// [klen u16][key][child u64]; the entry with the empty key is the
+// leftmost child (-inf separator).
+
+func initNode(pg *page.Page, t page.Type, highKey []byte) {
+	pg.Init(pg.PageNo(), t)
+	rec := make([]byte, 2+len(highKey))
+	binary.LittleEndian.PutUint16(rec, uint16(len(highKey)))
+	copy(rec[2:], highKey)
+	if _, err := pg.Insert(rec); err != nil {
+		panic("btree: cannot write high key: " + err.Error())
+	}
+}
+
+func highKey(pg *page.Page) []byte {
+	rec, err := pg.Get(0)
+	if err != nil {
+		panic("btree: node missing high key")
+	}
+	n := binary.LittleEndian.Uint16(rec)
+	return rec[2 : 2+n]
+}
+
+func setHighKey(pg *page.Page, hk []byte) {
+	rec := make([]byte, 2+len(hk))
+	binary.LittleEndian.PutUint16(rec, uint16(len(hk)))
+	copy(rec[2:], hk)
+	if err := pg.Update(0, rec); err != nil {
+		panic("btree: cannot update high key: " + err.Error())
+	}
+}
+
+// covered reports whether key belongs to this node (key < highKey).
+func covered(pg *page.Page, key []byte) bool {
+	hk := highKey(pg)
+	return len(hk) == 0 || bytes.Compare(key, hk) < 0
+}
+
+func encodeLeaf(key, val []byte) []byte {
+	rec := make([]byte, 2+len(key)+len(val))
+	binary.LittleEndian.PutUint16(rec, uint16(len(key)))
+	copy(rec[2:], key)
+	copy(rec[2+len(key):], val)
+	return rec
+}
+
+func decodeLeaf(rec []byte) (key, val []byte) {
+	n := binary.LittleEndian.Uint16(rec)
+	return rec[2 : 2+n], rec[2+n:]
+}
+
+func encodeInner(key []byte, child uint64) []byte {
+	rec := make([]byte, 2+len(key)+8)
+	binary.LittleEndian.PutUint16(rec, uint16(len(key)))
+	copy(rec[2:], key)
+	binary.LittleEndian.PutUint64(rec[2+len(key):], child)
+	return rec
+}
+
+func decodeInner(rec []byte) (key []byte, child uint64) {
+	n := binary.LittleEndian.Uint16(rec)
+	return rec[2 : 2+n], binary.LittleEndian.Uint64(rec[2+int(n):])
+}
+
+// findLeafSlot linearly scans a leaf for key; returns slot index or -1.
+func findLeafSlot(pg *page.Page, key []byte) int {
+	for i := 1; i < pg.NumSlots(); i++ {
+		rec, err := pg.Get(i)
+		if err != nil {
+			continue // dead slot
+		}
+		k, _ := decodeLeaf(rec)
+		if bytes.Equal(k, key) {
+			return i
+		}
+	}
+	return -1
+}
+
+// childFor picks the inner entry whose subtree covers key: the entry with
+// the largest separator <= key.
+func childFor(pg *page.Page, key []byte) uint64 {
+	var best []byte
+	var child uint64
+	found := false
+	for i := 1; i < pg.NumSlots(); i++ {
+		rec, err := pg.Get(i)
+		if err != nil {
+			continue
+		}
+		k, c := decodeInner(rec)
+		if bytes.Compare(k, key) <= 0 {
+			if !found || bytes.Compare(k, best) >= 0 {
+				best, child, found = k, c, true
+			}
+		}
+	}
+	if !found {
+		panic("btree: inner node has no covering child")
+	}
+	return child
+}
+
+// descendToLeaf walks from the root to the leaf covering key, following
+// right-links when a concurrent split moved the range. It returns a
+// pinned leaf handle.
+func (t *Tree) descendToLeaf(p *sim.Proc, key []byte) (*buffer.Handle, error) {
+	pageNo := t.root
+	for {
+		h, err := t.bp.Get(p, pageNo)
+		if err != nil {
+			return nil, err
+		}
+		pg := h.Page()
+		if !covered(pg, key) {
+			next := pg.Next()
+			h.Release()
+			if next == 0 {
+				return nil, fmt.Errorf("btree %s: fell off right edge", t.Name)
+			}
+			pageNo = next
+			continue
+		}
+		if pg.PageType() == page.TypeBTreeLeaf {
+			return h, nil
+		}
+		pageNo = childFor(pg, key)
+		h.Release()
+	}
+}
+
+// Search returns the value stored under key.
+func (t *Tree) Search(p *sim.Proc, key []byte) ([]byte, error) {
+	h, err := t.descendToLeaf(p, key)
+	if err != nil {
+		return nil, err
+	}
+	defer h.Release()
+	slot := findLeafSlot(h.Page(), key)
+	if slot < 0 {
+		return nil, ErrNotFound
+	}
+	rec, _ := h.Page().Get(slot)
+	_, val := decodeLeaf(rec)
+	return append([]byte(nil), val...), nil
+}
+
+// Insert adds a new key; it fails on duplicates.
+func (t *Tree) Insert(p *sim.Proc, key, val []byte) error {
+	return t.put(p, key, val, false)
+}
+
+// Put inserts or replaces.
+func (t *Tree) Put(p *sim.Proc, key, val []byte) error {
+	return t.put(p, key, val, true)
+}
+
+// Update replaces the value of an existing key.
+func (t *Tree) Update(p *sim.Proc, key, val []byte) error {
+	h, err := t.descendToLeaf(p, key)
+	if err != nil {
+		return err
+	}
+	pg := h.Page()
+	slot := findLeafSlot(pg, key)
+	if slot < 0 {
+		h.Release()
+		return ErrNotFound
+	}
+	rec := encodeLeaf(key, val)
+	if err := pg.Update(slot, rec); err == nil {
+		h.MarkDirty(0)
+		h.Release()
+		return nil
+	}
+	// No room to grow in place: delete + reinsert (may split).
+	pg.Delete(slot)
+	t.Entries--
+	h.MarkDirty(0)
+	h.Release()
+	return t.put(p, key, val, false)
+}
+
+func (t *Tree) put(p *sim.Proc, key, val []byte, upsert bool) error {
+	rec := encodeLeaf(key, val)
+	if len(rec) > maxEntry {
+		return ErrTooBig
+	}
+	for {
+		h, err := t.descendToLeaf(p, key)
+		if err != nil {
+			return err
+		}
+		pg := h.Page()
+		if slot := findLeafSlot(pg, key); slot >= 0 {
+			if !upsert {
+				h.Release()
+				return ErrDuplicate
+			}
+			if err := pg.Update(slot, rec); err == nil {
+				h.MarkDirty(0)
+				h.Release()
+				return nil
+			}
+			pg.Delete(slot)
+			t.Entries--
+		}
+		if pg.FreeSpace() >= len(rec)+8 {
+			if _, err := pg.Insert(rec); err == nil {
+				t.Entries++
+				h.MarkDirty(0)
+				h.Release()
+				return nil
+			}
+		}
+		// Try compaction (dead slots from deletes/updates).
+		if pg.Live() < pg.NumSlots() {
+			pg.Compact()
+			h.MarkDirty(0)
+			if pg.FreeSpace() >= len(rec)+8 {
+				if _, err := pg.Insert(rec); err == nil {
+					t.Entries++
+					h.Release()
+					return nil
+				}
+			}
+		}
+		leafNo := h.PageNo()
+		h.Release()
+		// Leaf is genuinely full: split under the SMO mutex and retry.
+		if err := t.splitLeaf(p, leafNo, key); err != nil {
+			return err
+		}
+	}
+}
+
+// splitLeaf splits the (possibly stale) leaf covering key. The SMO mutex
+// serializes all splits.
+func (t *Tree) splitLeaf(p *sim.Proc, hintPage uint64, key []byte) error {
+	t.smo.Acquire(p, 1)
+	defer t.smo.Release(1)
+
+	// Re-locate the leaf: it may have been split already.
+	h, err := t.descendToLeaf(p, key)
+	if err != nil {
+		return err
+	}
+	pg := h.Page()
+	type entry struct{ k, v []byte }
+	var entries []entry
+	for i := 1; i < pg.NumSlots(); i++ {
+		r, err := pg.Get(i)
+		if err != nil {
+			continue
+		}
+		k, v := decodeLeaf(r)
+		entries = append(entries, entry{append([]byte(nil), k...), append([]byte(nil), v...)})
+	}
+	if len(entries) < 2 {
+		h.Release()
+		return nil // nothing to split; caller retries insert
+	}
+	sort.Slice(entries, func(i, j int) bool { return bytes.Compare(entries[i].k, entries[j].k) < 0 })
+	mid := len(entries) / 2
+	sep := entries[mid].k
+	oldHigh := append([]byte(nil), highKey(pg)...)
+	oldNext := pg.Next()
+	leafNo := h.PageNo()
+
+	// Allocate the right sibling and move the upper half there.
+	rh, rightNo, err := t.bp.Allocate(p, page.TypeBTreeLeaf)
+	if err != nil {
+		h.Release()
+		return err
+	}
+	initNode(rh.Page(), page.TypeBTreeLeaf, oldHigh)
+	rh.Page().SetNext(oldNext)
+	for _, e := range entries[mid:] {
+		if _, err := rh.Page().Insert(encodeLeaf(e.k, e.v)); err != nil {
+			panic("btree: right split page overflow: " + err.Error())
+		}
+	}
+	rh.MarkDirty(0)
+	rh.Release()
+
+	// Rewrite the left node with the lower half.
+	initNode(pg, page.TypeBTreeLeaf, sep)
+	pg.SetNext(rightNo)
+	for _, e := range entries[:mid] {
+		if _, err := pg.Insert(encodeLeaf(e.k, e.v)); err != nil {
+			panic("btree: left split page overflow: " + err.Error())
+		}
+	}
+	h.MarkDirty(0)
+	h.Release()
+
+	// Post the separator to the parent level.
+	return t.postSeparator(p, leafNo, rightNo, sep, 1)
+}
+
+// postSeparator inserts (sep -> rightNo) into the parent of leftNo at the
+// given level (leaf = level 1). A missing parent (leftNo was the root)
+// grows the tree.
+func (t *Tree) postSeparator(p *sim.Proc, leftNo, rightNo uint64, sep []byte, level int) error {
+	if leftNo == t.root {
+		// Root split: new root with two children.
+		rh, rootNo, err := t.bp.Allocate(p, page.TypeBTreeInner)
+		if err != nil {
+			return err
+		}
+		initNode(rh.Page(), page.TypeBTreeInner, nil)
+		rh.Page().Insert(encodeInner(nil, leftNo))
+		rh.Page().Insert(encodeInner(sep, rightNo))
+		rh.MarkDirty(0)
+		rh.Release()
+		t.root = rootNo
+		t.height++
+		return nil
+	}
+	// Find the parent of leftNo by descending to the node at level+1
+	// covering sep, moving right as needed.
+	pageNo := t.root
+	depth := t.height
+	for depth > level+1 {
+		h, err := t.bp.Get(p, pageNo)
+		if err != nil {
+			return err
+		}
+		pg := h.Page()
+		if !covered(pg, sep) {
+			next := pg.Next()
+			h.Release()
+			pageNo = next
+			continue
+		}
+		pageNo = childFor(pg, sep)
+		h.Release()
+		depth--
+	}
+	for {
+		h, err := t.bp.Get(p, pageNo)
+		if err != nil {
+			return err
+		}
+		pg := h.Page()
+		if !covered(pg, sep) {
+			next := pg.Next()
+			h.Release()
+			if next == 0 {
+				return fmt.Errorf("btree %s: separator fell off inner level", t.Name)
+			}
+			pageNo = next
+			continue
+		}
+		rec := encodeInner(sep, rightNo)
+		if pg.FreeSpace() >= len(rec)+8 {
+			pg.Insert(rec)
+			h.MarkDirty(0)
+			h.Release()
+			return nil
+		}
+		// Inner node full: split it (we already hold the SMO mutex).
+		if err := t.splitInner(p, h, level+1); err != nil {
+			h.Release()
+			return err
+		}
+		h.Release()
+		// Retry posting from the same node (links updated).
+	}
+}
+
+// splitInner splits a full inner node whose handle is pinned.
+func (t *Tree) splitInner(p *sim.Proc, h *buffer.Handle, level int) error {
+	pg := h.Page()
+	type entry struct {
+		k []byte
+		c uint64
+	}
+	var entries []entry
+	for i := 1; i < pg.NumSlots(); i++ {
+		r, err := pg.Get(i)
+		if err != nil {
+			continue
+		}
+		k, c := decodeInner(r)
+		entries = append(entries, entry{append([]byte(nil), k...), c})
+	}
+	sort.Slice(entries, func(i, j int) bool { return bytes.Compare(entries[i].k, entries[j].k) < 0 })
+	mid := len(entries) / 2
+	sep := entries[mid].k
+	oldHigh := append([]byte(nil), highKey(pg)...)
+	oldNext := pg.Next()
+	leftNo := h.PageNo()
+
+	rh, rightNo, err := t.bp.Allocate(p, page.TypeBTreeInner)
+	if err != nil {
+		return err
+	}
+	initNode(rh.Page(), page.TypeBTreeInner, oldHigh)
+	rh.Page().SetNext(oldNext)
+	// Right node's leftmost child: the separator entry's child becomes the
+	// -inf entry of the right node.
+	rh.Page().Insert(encodeInner(nil, entries[mid].c))
+	for _, e := range entries[mid+1:] {
+		rh.Page().Insert(encodeInner(e.k, e.c))
+	}
+	rh.MarkDirty(0)
+	rh.Release()
+
+	initNode(pg, page.TypeBTreeInner, sep)
+	pg.SetNext(rightNo)
+	for _, e := range entries[:mid] {
+		pg.Insert(encodeInner(e.k, e.c))
+	}
+	h.MarkDirty(0)
+
+	return t.postSeparator(p, leftNo, rightNo, sep, level)
+}
+
+// Delete removes a key (slot is marked dead; space reclaimed by later
+// compaction; nodes are never merged).
+func (t *Tree) Delete(p *sim.Proc, key []byte) error {
+	h, err := t.descendToLeaf(p, key)
+	if err != nil {
+		return err
+	}
+	defer h.Release()
+	slot := findLeafSlot(h.Page(), key)
+	if slot < 0 {
+		return ErrNotFound
+	}
+	h.Page().Delete(slot)
+	h.MarkDirty(0)
+	t.Entries--
+	return nil
+}

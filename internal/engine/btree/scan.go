@@ -1,0 +1,236 @@
+package btree
+
+import (
+	"bytes"
+	"sort"
+
+	"remotedb/internal/engine/buffer"
+	"remotedb/internal/engine/page"
+	"remotedb/internal/sim"
+)
+
+// Pair is one (key, value) entry surfaced by a scan.
+type Pair struct {
+	Key, Val []byte
+}
+
+// Iterator walks leaf pages in key order. It buffers one page of sorted
+// entries at a time; concurrent splits are tolerated (entries may be
+// revisited across page boundaries only if they were moved right, which
+// the monotone key filter suppresses).
+type Iterator struct {
+	t       *Tree
+	buf     []Pair
+	idx     int
+	nextPg  uint64
+	lastKey []byte
+	done    bool
+}
+
+// Scan returns an iterator positioned at the first key >= from (nil = min).
+func (t *Tree) Scan(p *sim.Proc, from []byte) (*Iterator, error) {
+	h, err := t.descendToLeaf(p, from)
+	if err != nil {
+		return nil, err
+	}
+	it := &Iterator{t: t}
+	it.loadPage(h, from)
+	return it, nil
+}
+
+// loadPage sorts the leaf's live entries >= lower into the buffer.
+func (it *Iterator) loadPage(h *buffer.Handle, lower []byte) {
+	pg := h.Page()
+	it.buf = it.buf[:0]
+	it.idx = 0
+	for i := 1; i < pg.NumSlots(); i++ {
+		rec, err := pg.Get(i)
+		if err != nil {
+			continue
+		}
+		k, v := decodeLeaf(rec)
+		if lower != nil && bytes.Compare(k, lower) < 0 {
+			continue
+		}
+		it.buf = append(it.buf, Pair{
+			Key: append([]byte(nil), k...),
+			Val: append([]byte(nil), v...),
+		})
+	}
+	sort.Slice(it.buf, func(i, j int) bool { return bytes.Compare(it.buf[i].Key, it.buf[j].Key) < 0 })
+	it.nextPg = pg.Next()
+	h.Release()
+}
+
+// Next returns the next entry in key order; ok=false at the end.
+func (it *Iterator) Next(p *sim.Proc) (Pair, bool, error) {
+	for {
+		if it.idx < len(it.buf) {
+			pair := it.buf[it.idx]
+			it.idx++
+			// Suppress duplicates from a page revisit after a split.
+			if it.lastKey != nil && bytes.Compare(pair.Key, it.lastKey) <= 0 {
+				continue
+			}
+			it.lastKey = pair.Key
+			return pair, true, nil
+		}
+		if it.done || it.nextPg == 0 {
+			it.done = true
+			return Pair{}, false, nil
+		}
+		h, err := it.t.bp.Get(p, it.nextPg)
+		if err != nil {
+			return Pair{}, false, err
+		}
+		it.loadPage(h, nil)
+	}
+}
+
+// ScanRange collects up to limit entries with from <= key < to
+// (nil bounds are open; limit <= 0 means unlimited).
+func (t *Tree) ScanRange(p *sim.Proc, from, to []byte, limit int) ([]Pair, error) {
+	it, err := t.Scan(p, from)
+	if err != nil {
+		return nil, err
+	}
+	var out []Pair
+	for {
+		pair, ok, err := it.Next(p)
+		if err != nil {
+			return out, err
+		}
+		if !ok {
+			return out, nil
+		}
+		if to != nil && bytes.Compare(pair.Key, to) >= 0 {
+			return out, nil
+		}
+		out = append(out, pair)
+		if limit > 0 && len(out) >= limit {
+			return out, nil
+		}
+	}
+}
+
+// BulkLoad builds a tree bottom-up from key-sorted pairs, filling leaves
+// to fillFactor (0 < ff <= 1). It must be called on a fresh (empty) tree
+// and is the fast path for the workload generators' initial loads.
+func (t *Tree) BulkLoad(p *sim.Proc, pairs []Pair, fillFactor float64) error {
+	if fillFactor <= 0 || fillFactor > 1 {
+		fillFactor = 0.9
+	}
+	if len(pairs) == 0 {
+		return nil
+	}
+	for i := 1; i < len(pairs); i++ {
+		if bytes.Compare(pairs[i-1].Key, pairs[i].Key) >= 0 {
+			return ErrDuplicate
+		}
+	}
+	budget := int(float64(page.Size-page.HeaderSize-64) * fillFactor)
+
+	// Build the leaf level.
+	var level []nodeRef
+	i := 0
+	for i < len(pairs) {
+		h, no, err := t.bp.Allocate(p, page.TypeBTreeLeaf)
+		if err != nil {
+			return err
+		}
+		initNode(h.Page(), page.TypeBTreeLeaf, nil)
+		first := pairs[i].Key
+		used := 0
+		for i < len(pairs) {
+			rec := encodeLeaf(pairs[i].Key, pairs[i].Val)
+			if len(rec) > maxEntry {
+				h.Release()
+				return ErrTooBig
+			}
+			if used+len(rec)+8 > budget {
+				break
+			}
+			if _, err := h.Page().Insert(rec); err != nil {
+				break
+			}
+			used += len(rec) + 8
+			i++
+		}
+		h.MarkDirty(0)
+		h.Release()
+		level = append(level, nodeRef{firstKey: first, pageNo: no})
+	}
+	// Chain leaves and set high keys.
+	if err := t.linkLevel(p, level); err != nil {
+		return err
+	}
+
+	// Build inner levels until one node remains.
+	height := 1
+	for len(level) > 1 {
+		var upper []nodeRef
+		j := 0
+		for j < len(level) {
+			h, no, err := t.bp.Allocate(p, page.TypeBTreeInner)
+			if err != nil {
+				return err
+			}
+			initNode(h.Page(), page.TypeBTreeInner, nil)
+			first := level[j].firstKey
+			used := 0
+			count := 0
+			for j < len(level) {
+				var key []byte
+				if count > 0 {
+					key = level[j].firstKey
+				}
+				rec := encodeInner(key, level[j].pageNo)
+				if used+len(rec)+8 > budget && count > 1 {
+					break
+				}
+				if _, err := h.Page().Insert(rec); err != nil {
+					break
+				}
+				used += len(rec) + 8
+				count++
+				j++
+			}
+			h.MarkDirty(0)
+			h.Release()
+			upper = append(upper, nodeRef{firstKey: first, pageNo: no})
+		}
+		if err := t.linkLevel(p, upper); err != nil {
+			return err
+		}
+		level = upper
+		height++
+	}
+	t.root = level[0].pageNo
+	t.height = height
+	t.Entries = int64(len(pairs))
+	return nil
+}
+
+// nodeRef names one node of a level being bulk-built.
+type nodeRef struct {
+	firstKey []byte
+	pageNo   uint64
+}
+
+// linkLevel chains siblings and assigns each node's high key from its
+// right neighbour's first key.
+func (t *Tree) linkLevel(p *sim.Proc, level []nodeRef) error {
+	for i, ref := range level {
+		h, err := t.bp.Get(p, ref.pageNo)
+		if err != nil {
+			return err
+		}
+		if i+1 < len(level) {
+			setHighKey(h.Page(), level[i+1].firstKey)
+			h.Page().SetNext(level[i+1].pageNo)
+		}
+		h.MarkDirty(0)
+		h.Release()
+	}
+	return nil
+}

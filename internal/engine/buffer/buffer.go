@@ -1,0 +1,548 @@
+// Package buffer implements the engine's buffer pool: a fixed set of
+// 8 KiB frames over the database file with clock-sweep eviction, a
+// background lazy writer for dirty pages, and — the paper's scenario
+// (i) — an optional buffer-pool extension (BPExt) holding clean evicted
+// pages in a second-tier file that may live on SSD or in remote memory.
+//
+// The read path is RAM, then extension, then data file; the extension is
+// strictly a performance tier: losing it (vfs.ErrUnavailable from a
+// revoked remote lease) silently disables it and the pool falls back to
+// the data file, preserving correctness — the paper's best-effort
+// contract.
+package buffer
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"remotedb/internal/cluster"
+	"remotedb/internal/engine/page"
+	"remotedb/internal/sim"
+	"remotedb/internal/vfs"
+)
+
+// Config parameterizes a pool.
+type Config struct {
+	Frames        int           // local frames (local memory / 8 KiB)
+	PageAccessCPU time.Duration // latch + lookup cost per logical access
+	WriterPeriod  time.Duration // lazy-writer cadence (0 disables)
+	WriterBatch   int           // max dirty pages written per round
+}
+
+// DefaultConfig returns a small pool with a 10 ms lazy writer.
+func DefaultConfig(frames int) Config {
+	return Config{
+		Frames:        frames,
+		PageAccessCPU: time.Microsecond,
+		WriterPeriod:  10 * time.Millisecond,
+		WriterBatch:   128,
+	}
+}
+
+// ErrNoFrames is returned when every frame is pinned.
+var ErrNoFrames = errors.New("buffer: all frames pinned")
+
+type frame struct {
+	buf    []byte
+	pageNo uint64
+	valid  bool
+	dirty  bool
+	pins   int
+	ref    bool   // clock reference bit
+	ver    uint64 // bumped on MarkDirty; detects writes racing with I/O
+}
+
+// Stats counts pool activity.
+type Stats struct {
+	Hits       int64 // satisfied from RAM
+	ExtHits    int64 // satisfied from the extension
+	DiskReads  int64 // read from the data file
+	EvictClean int64
+	EvictDirty int64 // dirty victim written back synchronously
+	WriterIO   int64 // pages written by the lazy writer
+	ExtWrites  int64
+}
+
+// Pool is the buffer pool.
+type Pool struct {
+	k      *sim.Kernel
+	server *cluster.Server
+	data   vfs.File
+	cfg    Config
+
+	frames   []frame
+	table    map[uint64]int // pageNo -> frame index
+	hand     int
+	avail    *sim.Cond                 // signalled when a pin is released
+	faulting map[uint64]*sim.WaitGroup // in-flight page faults
+
+	ext         *Extension
+	extPutSlots *sim.Resource // bounds in-flight async extension writes
+
+	nextPageNo uint64
+	writerStop bool
+
+	Stats Stats
+}
+
+// New creates a pool over the data file. The pool commits its frame
+// memory on the server (so brokered memory accounting sees it).
+func New(p *sim.Proc, server *cluster.Server, data vfs.File, cfg Config) (*Pool, error) {
+	if cfg.Frames <= 0 {
+		return nil, errors.New("buffer: need at least one frame")
+	}
+	if err := server.CommitLocal(int64(cfg.Frames) * page.Size); err != nil {
+		return nil, err
+	}
+	bp := &Pool{
+		k:          p.Kernel(),
+		server:     server,
+		data:       data,
+		cfg:        cfg,
+		frames:     make([]frame, cfg.Frames),
+		table:      make(map[uint64]int, cfg.Frames),
+		faulting:   make(map[uint64]*sim.WaitGroup),
+		nextPageNo: 1, // page 0 reserved
+	}
+	bp.avail = sim.NewCond(bp.k)
+	bp.extPutSlots = sim.NewResource(bp.k, "extput", 64)
+	for i := range bp.frames {
+		bp.frames[i].buf = make([]byte, page.Size)
+	}
+	if cfg.WriterPeriod > 0 {
+		bp.k.Go("lazywriter", bp.writerLoop)
+	}
+	return bp, nil
+}
+
+// AttachExtension enables the BPExt on file (SSD or remote memory).
+func (bp *Pool) AttachExtension(file vfs.File, slots int) {
+	bp.ext = newExtension(file, slots)
+}
+
+// Extension returns the attached extension, or nil.
+func (bp *Pool) Extension() *Extension { return bp.ext }
+
+// ExtensionHealthy reports whether the extension is attached and usable.
+func (bp *Pool) ExtensionHealthy() bool { return bp.ext != nil && !bp.ext.disabled }
+
+// Server returns the hosting server.
+func (bp *Pool) Server() *cluster.Server { return bp.server }
+
+// Frames returns the frame count.
+func (bp *Pool) Frames() int { return bp.cfg.Frames }
+
+// Handle is a pinned page.
+type Handle struct {
+	bp    *Pool
+	idx   int
+	freed bool
+}
+
+// Page views the pinned frame.
+func (h *Handle) Page() *page.Page { return page.Wrap(h.bp.frames[h.idx].buf) }
+
+// PageNo returns the pinned page's number.
+func (h *Handle) PageNo() uint64 { return h.bp.frames[h.idx].pageNo }
+
+// MarkDirty flags the frame for write-back and stamps the LSN.
+func (h *Handle) MarkDirty(lsn uint64) {
+	f := &h.bp.frames[h.idx]
+	f.dirty = true
+	f.ver++
+	if lsn > 0 {
+		h.Page().SetLSN(lsn)
+	}
+}
+
+// Release unpins the page.
+func (h *Handle) Release() {
+	if h.freed {
+		panic("buffer: double release")
+	}
+	h.freed = true
+	f := &h.bp.frames[h.idx]
+	if f.pins <= 0 {
+		panic("buffer: release of unpinned frame")
+	}
+	f.pins--
+	if f.pins == 0 {
+		h.bp.avail.Signal()
+	}
+}
+
+// Allocate creates a brand-new page of type t, pinned and dirty.
+func (bp *Pool) Allocate(p *sim.Proc, t page.Type) (*Handle, uint64, error) {
+	no := bp.nextPageNo
+	bp.nextPageNo++
+	idx, err := bp.victim(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	f := &bp.frames[idx]
+	f.pageNo = no
+	f.valid = true
+	f.dirty = true
+	f.pins = 1
+	f.ref = true
+	bp.table[no] = idx
+	pg := page.Wrap(f.buf)
+	pg.Init(no, t)
+	return &Handle{bp: bp, idx: idx}, no, nil
+}
+
+// PageCount returns the number of allocated pages.
+func (bp *Pool) PageCount() uint64 { return bp.nextPageNo - 1 }
+
+// Get pins the page, faulting it in from the extension or data file.
+func (bp *Pool) Get(p *sim.Proc, pageNo uint64) (*Handle, error) {
+	bp.server.Work(p, bp.cfg.PageAccessCPU)
+	for {
+		if idx, ok := bp.table[pageNo]; ok {
+			f := &bp.frames[idx]
+			f.pins++
+			f.ref = true
+			bp.Stats.Hits++
+			return &Handle{bp: bp, idx: idx}, nil
+		}
+		wg, inflight := bp.faulting[pageNo]
+		if !inflight {
+			break
+		}
+		// Another process is faulting this page in; piggyback on it.
+		wg.Wait(p)
+	}
+	wg := sim.NewWaitGroup(bp.k)
+	wg.Add(1)
+	bp.faulting[pageNo] = wg
+	defer func() {
+		delete(bp.faulting, pageNo)
+		wg.Done()
+	}()
+
+	idx, err := bp.victim(p)
+	if err != nil {
+		return nil, err
+	}
+	f := &bp.frames[idx]
+	// Reserve the frame before sleeping in I/O so concurrent sweeps
+	// cannot hand it out twice.
+	f.pins = 1
+	f.valid = true
+	f.pageNo = pageNo
+	f.dirty = false
+	f.ver++
+	// Fault the image in: extension first, then the data file.
+	fromExt := false
+	if bp.ExtensionHealthy() {
+		ok, err := bp.ext.tryGet(p, pageNo, f.buf)
+		if err != nil {
+			bp.extFailed()
+		} else if ok {
+			fromExt = true
+			bp.Stats.ExtHits++
+		}
+	}
+	if !fromExt {
+		if err := bp.data.ReadAt(p, f.buf, int64(pageNo)*page.Size); err != nil {
+			f.valid = false
+			f.pins = 0
+			return nil, fmt.Errorf("buffer: data read: %w", err)
+		}
+		bp.Stats.DiskReads++
+	}
+	f.ref = true
+	bp.table[pageNo] = idx
+	return &Handle{bp: bp, idx: idx}, nil
+}
+
+// victim finds a free frame, evicting with the clock sweep; it blocks if
+// every frame is pinned and fails only if that persists.
+func (bp *Pool) victim(p *sim.Proc) (int, error) {
+	for attempt := 0; ; attempt++ {
+		for sweep := 0; sweep < 2*len(bp.frames); sweep++ {
+			f := &bp.frames[bp.hand]
+			idx := bp.hand
+			bp.hand = (bp.hand + 1) % len(bp.frames)
+			if !f.valid {
+				return idx, nil
+			}
+			if f.pins > 0 {
+				continue
+			}
+			if f.ref {
+				f.ref = false
+				continue
+			}
+			ok, err := bp.evict(p, idx)
+			if err != nil {
+				return 0, err
+			}
+			if ok {
+				return idx, nil
+			}
+			// Someone re-pinned or re-dirtied the frame mid-eviction;
+			// keep sweeping.
+		}
+		if attempt >= 3 {
+			return 0, ErrNoFrames
+		}
+		// Every frame pinned: wait for a release.
+		bp.avail.Wait(p)
+	}
+}
+
+// evict writes back a dirty victim, stashes the (now clean) image in the
+// extension, and frees the frame. It reports ok=false when a concurrent
+// pin or modification raced with the I/O, in which case the frame is
+// left cached and the caller must pick another victim.
+func (bp *Pool) evict(p *sim.Proc, idx int) (bool, error) {
+	f := &bp.frames[idx]
+	f.pins++ // guard: concurrent sweeps and the writer skip pinned frames
+	if f.dirty {
+		v0 := f.ver
+		pg := page.Wrap(f.buf)
+		pg.Seal()
+		if err := bp.data.WriteAt(p, f.buf, int64(f.pageNo)*page.Size); err != nil {
+			f.pins--
+			return false, fmt.Errorf("buffer: writeback: %w", err)
+		}
+		if f.ver != v0 {
+			// Modified during the write: still dirty, cannot evict now.
+			f.pins--
+			return false, nil
+		}
+		f.dirty = false
+		bp.Stats.EvictDirty++
+	} else {
+		bp.Stats.EvictClean++
+	}
+	if bp.ExtensionHealthy() {
+		// Any existing extension copy predates this eviction's image:
+		// drop the mapping now so a dropped or late async put can never
+		// leave a stale page serving reads.
+		bp.ext.invalidate(f.pageNo)
+		bp.ext.putVer[f.pageNo]++
+		ver := bp.ext.putVer[f.pageNo]
+		// Stash the clean image in the extension asynchronously (SQL
+		// Server's BPExt writes happen off the eviction critical path).
+		// Bounded in-flight puts; when saturated the page simply is not
+		// cached — insertion is best-effort.
+		if bp.extPutSlots.TryAcquire(1) {
+			img := make([]byte, page.Size)
+			copy(img, f.buf)
+			pageNo := f.pageNo
+			bp.k.Go("ext-put", func(ep *sim.Proc) {
+				defer bp.extPutSlots.Release(1)
+				if !bp.ExtensionHealthy() {
+					return
+				}
+				if err := bp.ext.put(ep, pageNo, img, ver); err != nil {
+					bp.extFailed()
+				} else {
+					bp.Stats.ExtWrites++
+				}
+			})
+		}
+	}
+	f.pins--
+	if f.pins > 0 || f.dirty {
+		// Re-pinned (or re-dirtied) while we slept in I/O: keep it.
+		return false, nil
+	}
+	delete(bp.table, f.pageNo)
+	f.valid = false
+	return true, nil
+}
+
+// extFailed disables the extension after an unavailability error — the
+// engine keeps running off the data file (best-effort semantics).
+func (bp *Pool) extFailed() {
+	if bp.ext != nil {
+		bp.ext.disabled = true
+	}
+}
+
+// writerLoop is the lazy writer: it flushes dirty unpinned pages in the
+// background so foreground evictions rarely stall on a write.
+func (bp *Pool) writerLoop(p *sim.Proc) {
+	for !bp.writerStop {
+		p.Sleep(bp.cfg.WriterPeriod)
+		written := 0
+		for i := range bp.frames {
+			if written >= bp.cfg.WriterBatch {
+				break
+			}
+			f := &bp.frames[i]
+			if !f.valid || !f.dirty || f.pins > 0 {
+				continue
+			}
+			f.pins++
+			v0 := f.ver
+			pg := page.Wrap(f.buf)
+			pg.Seal()
+			err := bp.data.WriteAt(p, f.buf, int64(f.pageNo)*page.Size)
+			f.pins--
+			if f.pins == 0 {
+				bp.avail.Signal()
+			}
+			if err == nil && f.ver == v0 {
+				f.dirty = false
+				bp.Stats.WriterIO++
+				written++
+			}
+		}
+	}
+}
+
+// StopWriter terminates the lazy writer (used at shutdown in tests).
+func (bp *Pool) StopWriter() { bp.writerStop = true }
+
+// FlushAll synchronously writes every dirty page (checkpoint).
+func (bp *Pool) FlushAll(p *sim.Proc) error {
+	for i := range bp.frames {
+		f := &bp.frames[i]
+		if !f.valid || !f.dirty {
+			continue
+		}
+		pg := page.Wrap(f.buf)
+		pg.Seal()
+		if err := bp.data.WriteAt(p, f.buf, int64(f.pageNo)*page.Size); err != nil {
+			return err
+		}
+		f.dirty = false
+	}
+	return nil
+}
+
+// ResidentPages returns the page numbers currently cached in RAM, in
+// frame order — the input to buffer-pool priming (scenario iv).
+func (bp *Pool) ResidentPages() []uint64 {
+	var out []uint64
+	for i := range bp.frames {
+		if bp.frames[i].valid {
+			out = append(out, bp.frames[i].pageNo)
+		}
+	}
+	return out
+}
+
+// InRAM reports whether a page is cached in a frame.
+func (bp *Pool) InRAM(pageNo uint64) bool {
+	_, ok := bp.table[pageNo]
+	return ok
+}
+
+// PrimeInstall force-loads a page image into the pool (used by the
+// priming scenario); it is a no-op if the page is already resident.
+func (bp *Pool) PrimeInstall(p *sim.Proc, pageNo uint64, img []byte) error {
+	if bp.InRAM(pageNo) {
+		return nil
+	}
+	idx, err := bp.victim(p)
+	if err != nil {
+		return err
+	}
+	f := &bp.frames[idx]
+	copy(f.buf, img)
+	f.pageNo = pageNo
+	f.valid = true
+	f.dirty = false
+	f.pins = 0
+	f.ref = true
+	bp.table[pageNo] = idx
+	return nil
+}
+
+// --- Extension ----------------------------------------------------------
+
+// Extension is the second cache tier: a slot array in a file.
+type Extension struct {
+	file     vfs.File
+	slots    int
+	table    map[uint64]int    // pageNo -> slot
+	slotPage []uint64          // slot -> pageNo (0 = free)
+	putVer   map[uint64]uint64 // latest scheduled put per page
+	hand     int
+	disabled bool
+
+	Hits, Misses, Puts int64
+}
+
+func newExtension(file vfs.File, slots int) *Extension {
+	return &Extension{
+		file:     file,
+		slots:    slots,
+		table:    make(map[uint64]int, slots),
+		slotPage: make([]uint64, slots),
+		putVer:   make(map[uint64]uint64),
+	}
+}
+
+// Slots returns the extension capacity in pages.
+func (e *Extension) Slots() int { return e.slots }
+
+// Cached returns the number of pages currently in the extension.
+func (e *Extension) Cached() int { return len(e.table) }
+
+func (e *Extension) tryGet(p *sim.Proc, pageNo uint64, dst []byte) (bool, error) {
+	slot, ok := e.table[pageNo]
+	if !ok {
+		e.Misses++
+		return false, nil
+	}
+	if err := e.file.ReadAt(p, dst, int64(slot)*page.Size); err != nil {
+		return false, err
+	}
+	e.Hits++
+	return true, nil
+}
+
+func (e *Extension) put(p *sim.Proc, pageNo uint64, src []byte, ver uint64) error {
+	if e.putVer[pageNo] != ver {
+		return nil // superseded by a newer eviction's image
+	}
+	slot, ok := e.table[pageNo]
+	if !ok {
+		slot = e.allocSlot()
+		e.slotPage[slot] = pageNo
+	}
+	if err := e.file.WriteAt(p, src, int64(slot)*page.Size); err != nil {
+		e.slotPage[slot] = 0
+		return err
+	}
+	// Install (or refresh) the mapping only if still the latest image.
+	if e.putVer[pageNo] == ver {
+		e.table[pageNo] = slot
+	} else {
+		e.slotPage[slot] = 0
+	}
+	e.Puts++
+	return nil
+}
+
+// invalidate drops the mapping for pageNo (the slot becomes free).
+func (e *Extension) invalidate(pageNo uint64) {
+	if slot, ok := e.table[pageNo]; ok {
+		delete(e.table, pageNo)
+		e.slotPage[slot] = 0
+	}
+}
+
+// allocSlot finds a free slot or reclaims the next occupied one (FIFO
+// sweep), evicting its mapping.
+func (e *Extension) allocSlot() int {
+	for i := 0; i < e.slots; i++ {
+		s := e.hand
+		e.hand = (e.hand + 1) % e.slots
+		if e.slotPage[s] == 0 {
+			return s
+		}
+	}
+	s := e.hand
+	e.hand = (e.hand + 1) % e.slots
+	delete(e.table, e.slotPage[s])
+	e.slotPage[s] = 0
+	return s
+}

@@ -1,0 +1,104 @@
+// Package engine assembles the mini-RDBMS: buffer pool (+ optional
+// BPExt), catalog, TempDB, write-ahead log, semantic cache, and the
+// device-aware cost model. The storage placement of each piece is a
+// vfs.File chosen by the caller, which is how the evaluated designs of
+// Table 5 (HDD, HDD+SSD, the two RamDrive variants, Custom, Local
+// Memory) are assembled without engine changes.
+package engine
+
+import (
+	"remotedb/internal/cluster"
+	"remotedb/internal/engine/buffer"
+	"remotedb/internal/engine/catalog"
+	"remotedb/internal/engine/exec"
+	"remotedb/internal/engine/opt"
+	"remotedb/internal/engine/semcache"
+	"remotedb/internal/engine/tempdb"
+	"remotedb/internal/engine/txn"
+	"remotedb/internal/sim"
+	"remotedb/internal/vfs"
+)
+
+// Files names the storage placement of each engine component.
+type Files struct {
+	Data  vfs.File // base tables and indexes
+	Log   vfs.File // write-ahead log
+	Temp  vfs.File // TempDB spill space
+	BPExt vfs.File // buffer-pool extension (nil disables)
+}
+
+// Config parameterizes the engine.
+type Config struct {
+	BufferFrames int   // local buffer pool size in 8 KiB pages
+	BPExtSlots   int   // extension capacity in pages (ignored if no BPExt file)
+	Grant        int64 // per-query memory grant (admission control)
+	Buffer       buffer.Config
+	CPU          exec.CPUProfile
+	SemCache     semcache.FileFactory // nil: semantic cache disabled
+}
+
+// DefaultConfig sizes the pool to frames pages with standard costs.
+func DefaultConfig(frames int) Config {
+	return Config{
+		BufferFrames: frames,
+		Grant:        int64(frames) * 8192 / 4, // quarter of the pool per query
+		Buffer:       buffer.DefaultConfig(frames),
+		CPU:          exec.DefaultCPUProfile(),
+	}
+}
+
+// Engine is one database instance on one server.
+type Engine struct {
+	Server  *cluster.Server
+	BP      *buffer.Pool
+	Catalog *catalog.Catalog
+	Temp    *tempdb.TempDB
+	Log     *txn.LogManager
+	Cache   *semcache.Cache
+	Cost    *opt.Model
+	CPU     exec.CPUProfile
+	Grant   int64
+}
+
+// New builds an engine on server with the given storage placement.
+func New(p *sim.Proc, server *cluster.Server, files Files, cfg Config) (*Engine, error) {
+	bcfg := cfg.Buffer
+	if bcfg.Frames == 0 {
+		bcfg = buffer.DefaultConfig(cfg.BufferFrames)
+	}
+	bcfg.Frames = cfg.BufferFrames
+	bp, err := buffer.New(p, server, files.Data, bcfg)
+	if err != nil {
+		return nil, err
+	}
+	if files.BPExt != nil && cfg.BPExtSlots > 0 {
+		bp.AttachExtension(files.BPExt, cfg.BPExtSlots)
+	}
+	e := &Engine{
+		Server:  server,
+		BP:      bp,
+		Catalog: catalog.New(bp),
+		Temp:    tempdb.New(files.Temp),
+		Log:     txn.New(server.K, files.Log),
+		Cost:    opt.NewModel(),
+		CPU:     cfg.CPU,
+		Grant:   cfg.Grant,
+	}
+	e.Cache = semcache.New(cfg.SemCache, e.Log)
+	return e, nil
+}
+
+// NewCtx returns a fresh execution context for one query.
+func (e *Engine) NewCtx(p *sim.Proc) *exec.Ctx {
+	return &exec.Ctx{
+		P:      p,
+		Server: e.Server,
+		Temp:   e.Temp,
+		Grant:  e.Grant,
+		CPU:    e.CPU,
+		DOP:    4, // SQL Server runs analytic plans parallel by default
+	}
+}
+
+// Shutdown stops background machinery (the lazy writer).
+func (e *Engine) Shutdown() { e.BP.StopWriter() }

@@ -1,0 +1,392 @@
+// Package exec implements the engine's Volcano-style query executor:
+// scans, filters, projections, hash and index-nested-loop joins, external
+// sort, top-N and hash aggregation. Operators run under a per-query
+// memory grant (the admission-control behaviour behind the paper's
+// Q10/Q18 anecdote) and spill to TempDB when they exceed it — which is
+// exactly the I/O the paper's scenario (ii) moves to remote memory.
+package exec
+
+import (
+	"errors"
+	"time"
+
+	"remotedb/internal/cluster"
+	"remotedb/internal/engine/catalog"
+	"remotedb/internal/engine/row"
+	"remotedb/internal/engine/tempdb"
+	"remotedb/internal/sim"
+)
+
+// CPUProfile holds the executor's per-row CPU costs. They are the knobs
+// that put the CPU/I-O crossover where the paper reports it (Figure 11b:
+// RangeScan on remote memory is CPU-bound; Figure 14c: Hash+Sort phase 1
+// is CPU-bound at ~400 MB/s).
+type CPUProfile struct {
+	PerRow  time.Duration // decode + evaluate one row
+	PerHash time.Duration // hash/probe one row
+	PerSort time.Duration // comparison-sort share per row
+}
+
+// DefaultCPUProfile matches the calibration in internal/exp.
+func DefaultCPUProfile() CPUProfile {
+	return CPUProfile{
+		PerRow:  50 * time.Nanosecond,
+		PerHash: 30 * time.Nanosecond,
+		PerSort: 60 * time.Nanosecond,
+	}
+}
+
+// Ctx carries the per-query execution environment.
+type Ctx struct {
+	P      *sim.Proc
+	Server *cluster.Server
+	Temp   *tempdb.TempDB
+	Grant  int64 // memory-grant bytes for spilling operators
+	CPU    CPUProfile
+	DOP    int // degree of intra-query parallelism (0/1 = serial)
+
+	cpuDebt time.Duration
+
+	RowsOut      int64
+	SpilledRuns  int64
+	SpilledParts int64
+}
+
+// chargeCPU accrues per-row CPU and pays it to the server's cores in
+// batches, so the simulator is not invoked for every row.
+func (c *Ctx) chargeCPU(d time.Duration) {
+	c.cpuDebt += d
+	if c.cpuDebt >= 200*time.Microsecond {
+		c.payCPU()
+	}
+}
+
+func (c *Ctx) payCPU() {
+	d := c.cpuDebt
+	c.cpuDebt = 0
+	if c.DOP > 1 {
+		c.Server.WorkParallel(c.P, d, c.DOP)
+	} else {
+		c.Server.Work(c.P, d)
+	}
+}
+
+// FlushCPU pays any remaining accrued CPU; called by Run and Close paths.
+func (c *Ctx) FlushCPU() {
+	if c.cpuDebt > 0 {
+		c.payCPU()
+	}
+}
+
+// Op is a Volcano operator.
+type Op interface {
+	Open(c *Ctx) error
+	Next(c *Ctx) (row.Tuple, bool, error)
+	Close(c *Ctx) error
+	Schema() *row.Schema
+}
+
+// Run drains an operator tree, returning the row count (convenience for
+// benchmarks and tests that don't need the rows).
+func Run(c *Ctx, op Op) (int64, error) {
+	if err := op.Open(c); err != nil {
+		return 0, err
+	}
+	var n int64
+	for {
+		_, ok, err := op.Next(c)
+		if err != nil {
+			op.Close(c)
+			return n, err
+		}
+		if !ok {
+			break
+		}
+		n++
+	}
+	err := op.Close(c)
+	c.FlushCPU()
+	c.RowsOut = n
+	return n, err
+}
+
+// Collect drains an operator tree into a slice.
+func Collect(c *Ctx, op Op) ([]row.Tuple, error) {
+	if err := op.Open(c); err != nil {
+		return nil, err
+	}
+	var out []row.Tuple
+	for {
+		t, ok, err := op.Next(c)
+		if err != nil {
+			op.Close(c)
+			return out, err
+		}
+		if !ok {
+			break
+		}
+		out = append(out, t)
+	}
+	err := op.Close(c)
+	c.FlushCPU()
+	return out, err
+}
+
+// --- TableScan -----------------------------------------------------------
+
+// TableScan reads every row of a table in primary-key order.
+type TableScan struct {
+	Table *catalog.Table
+	From  []byte // optional PK lower bound
+	To    []byte // optional PK upper bound (exclusive)
+
+	it   *iterState
+	open bool
+}
+
+type iterState struct {
+	next func() (row.Tuple, bool, error)
+}
+
+// Schema returns the table's schema.
+func (s *TableScan) Schema() *row.Schema { return s.Table.Schema }
+
+// Open positions the scan.
+func (s *TableScan) Open(c *Ctx) error {
+	it, err := s.Table.Clustered.Scan(c.P, s.From)
+	if err != nil {
+		return err
+	}
+	to := s.To
+	tbl := s.Table
+	s.it = &iterState{next: func() (row.Tuple, bool, error) {
+		pair, ok, err := it.Next(c.P)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if to != nil && string(pair.Key) >= string(to) {
+			return nil, false, nil
+		}
+		t, err := row.Decode(tbl.Schema, pair.Val)
+		if err != nil {
+			return nil, false, err
+		}
+		return t, true, nil
+	}}
+	s.open = true
+	return nil
+}
+
+// Next returns the next row.
+func (s *TableScan) Next(c *Ctx) (row.Tuple, bool, error) {
+	if !s.open {
+		return nil, false, errors.New("exec: scan not open")
+	}
+	t, ok, err := s.it.next()
+	if ok {
+		c.chargeCPU(c.CPU.PerRow)
+	}
+	return t, ok, err
+}
+
+// Close releases the scan.
+func (s *TableScan) Close(c *Ctx) error {
+	s.open = false
+	return nil
+}
+
+// --- IndexScan -----------------------------------------------------------
+
+// IndexScan seeks a secondary index range and looks up the base rows
+// (a "bookmark lookup" plan shape, the random-I/O pattern of Figure 15b's
+// index nested-loop side).
+type IndexScan struct {
+	Index *catalog.Index
+	From  []byte
+	To    []byte
+	Limit int
+
+	pks []([]byte)
+	pos int
+}
+
+// Schema returns the base table's schema.
+func (s *IndexScan) Schema() *row.Schema { return s.Index.Table.Schema }
+
+// Open runs the index seek.
+func (s *IndexScan) Open(c *Ctx) error {
+	pks, err := s.Index.SeekRange(c.P, s.From, s.To, s.Limit)
+	if err != nil {
+		return err
+	}
+	s.pks = pks
+	s.pos = 0
+	return nil
+}
+
+// Next looks up the next matching row.
+func (s *IndexScan) Next(c *Ctx) (row.Tuple, bool, error) {
+	if s.pos >= len(s.pks) {
+		return nil, false, nil
+	}
+	pk := s.pks[s.pos]
+	s.pos++
+	t, err := s.Index.Table.LookupRow(c.P, pk)
+	if err != nil {
+		return nil, false, err
+	}
+	c.chargeCPU(c.CPU.PerRow)
+	return t, true, nil
+}
+
+// Close releases the scan.
+func (s *IndexScan) Close(c *Ctx) error {
+	s.pks = nil
+	return nil
+}
+
+// --- Filter ---------------------------------------------------------------
+
+// Filter passes rows satisfying Pred.
+type Filter struct {
+	In   Op
+	Pred func(row.Tuple) bool
+}
+
+// Schema passes the input schema through.
+func (f *Filter) Schema() *row.Schema { return f.In.Schema() }
+
+// Open opens the input.
+func (f *Filter) Open(c *Ctx) error { return f.In.Open(c) }
+
+// Next returns the next passing row.
+func (f *Filter) Next(c *Ctx) (row.Tuple, bool, error) {
+	for {
+		t, ok, err := f.In.Next(c)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		if f.Pred(t) {
+			return t, true, nil
+		}
+	}
+}
+
+// Close closes the input.
+func (f *Filter) Close(c *Ctx) error { return f.In.Close(c) }
+
+// --- Project ----------------------------------------------------------------
+
+// Project keeps the named columns.
+type Project struct {
+	In   Op
+	Cols []string
+
+	schema *row.Schema
+	ords   []int
+}
+
+// Schema returns the projected schema.
+func (pr *Project) Schema() *row.Schema {
+	if pr.schema == nil {
+		pr.schema = pr.In.Schema().Project(pr.Cols...)
+	}
+	return pr.schema
+}
+
+// Open opens the input and resolves ordinals.
+func (pr *Project) Open(c *Ctx) error {
+	if err := pr.In.Open(c); err != nil {
+		return err
+	}
+	in := pr.In.Schema()
+	pr.ords = pr.ords[:0]
+	for _, col := range pr.Cols {
+		pr.ords = append(pr.ords, in.MustOrdinal(col))
+	}
+	return nil
+}
+
+// Next returns the projected row.
+func (pr *Project) Next(c *Ctx) (row.Tuple, bool, error) {
+	t, ok, err := pr.In.Next(c)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	out := make(row.Tuple, len(pr.ords))
+	for i, o := range pr.ords {
+		out[i] = t[o]
+	}
+	return out, true, nil
+}
+
+// Close closes the input.
+func (pr *Project) Close(c *Ctx) error { return pr.In.Close(c) }
+
+// --- Limit -------------------------------------------------------------------
+
+// Limit passes at most N rows.
+type Limit struct {
+	In Op
+	N  int64
+
+	seen int64
+}
+
+// Schema passes through.
+func (l *Limit) Schema() *row.Schema { return l.In.Schema() }
+
+// Open opens the input.
+func (l *Limit) Open(c *Ctx) error {
+	l.seen = 0
+	return l.In.Open(c)
+}
+
+// Next returns the next row while under the limit.
+func (l *Limit) Next(c *Ctx) (row.Tuple, bool, error) {
+	if l.seen >= l.N {
+		return nil, false, nil
+	}
+	t, ok, err := l.In.Next(c)
+	if ok {
+		l.seen++
+	}
+	return t, ok, err
+}
+
+// Close closes the input.
+func (l *Limit) Close(c *Ctx) error { return l.In.Close(c) }
+
+// --- Values -------------------------------------------------------------------
+
+// Values replays a materialized row set (used by the semantic cache and
+// by tests).
+type Values struct {
+	Rows []row.Tuple
+	Sch  *row.Schema
+
+	pos int
+}
+
+// Schema returns the declared schema.
+func (v *Values) Schema() *row.Schema { return v.Sch }
+
+// Open rewinds.
+func (v *Values) Open(c *Ctx) error {
+	v.pos = 0
+	return nil
+}
+
+// Next returns the next stored row.
+func (v *Values) Next(c *Ctx) (row.Tuple, bool, error) {
+	if v.pos >= len(v.Rows) {
+		return nil, false, nil
+	}
+	t := v.Rows[v.pos]
+	v.pos++
+	c.chargeCPU(c.CPU.PerRow)
+	return t, true, nil
+}
+
+// Close is a no-op.
+func (v *Values) Close(c *Ctx) error { return nil }

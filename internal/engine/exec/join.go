@@ -1,0 +1,373 @@
+package exec
+
+import (
+	"fmt"
+
+	"remotedb/internal/engine/catalog"
+	"remotedb/internal/engine/row"
+	"remotedb/internal/engine/tempdb"
+)
+
+// HashJoin joins Build ⋈ Probe on equality of the named columns. If the
+// build side exceeds the memory grant, both sides are partitioned to
+// TempDB (grace hash join) and joined partition by partition — the spill
+// the paper's Hash+Sort micro-benchmark (Figure 14) is built around.
+type HashJoin struct {
+	Build, Probe         Op
+	BuildCols, ProbeCols []string
+	Partitions           int // grace fan-out (default 8)
+
+	schema  *row.Schema
+	outBuf  []row.Tuple
+	outPos  int
+	ht      map[string][]row.Tuple
+	probing bool
+
+	// spill state
+	spilled     bool
+	buildFiles  []*tempdb.SpillFile
+	probeFiles  []*tempdb.SpillFile
+	curPart     int
+	partReader  *tempdb.Reader
+	probeSchema *row.Schema
+	buildSchema *row.Schema
+	probeOrds   []int
+	buildOrds   []int
+}
+
+// Schema returns build columns followed by probe columns.
+func (j *HashJoin) Schema() *row.Schema {
+	if j.schema == nil {
+		var cols []row.Column
+		cols = append(cols, j.Build.Schema().Columns...)
+		cols = append(cols, j.Probe.Schema().Columns...)
+		// Disambiguate duplicate names across sides (chained joins can
+		// carry already-suffixed names, so probe until free).
+		seen := make(map[string]bool)
+		out := make([]row.Column, len(cols))
+		for i, c := range cols {
+			name := c.Name
+			for n := 1; seen[name]; n++ {
+				name = fmt.Sprintf("%s_%d", c.Name, n)
+			}
+			seen[name] = true
+			c.Name = name
+			out[i] = c
+		}
+		j.schema = row.NewSchema(out...)
+	}
+	return j.schema
+}
+
+func keyOf(t row.Tuple, ords []int) string {
+	vals := make([]interface{}, len(ords))
+	for i, o := range ords {
+		vals[i] = t[o]
+	}
+	return string(row.EncodeKey(nil, vals...))
+}
+
+// Open materializes the build side (and spills both sides if needed).
+func (j *HashJoin) Open(c *Ctx) error {
+	if j.Partitions <= 0 {
+		j.Partitions = 8
+	}
+	j.buildSchema = j.Build.Schema()
+	j.probeSchema = j.Probe.Schema()
+	j.buildOrds = nil
+	for _, col := range j.BuildCols {
+		j.buildOrds = append(j.buildOrds, j.buildSchema.MustOrdinal(col))
+	}
+	j.probeOrds = nil
+	for _, col := range j.ProbeCols {
+		j.probeOrds = append(j.probeOrds, j.probeSchema.MustOrdinal(col))
+	}
+
+	if err := j.Build.Open(c); err != nil {
+		return err
+	}
+	writeBuild := func(t row.Tuple) error {
+		img, err := row.Encode(nil, j.buildSchema, t)
+		if err != nil {
+			return err
+		}
+		return j.buildFiles[partOf(keyOf(t, j.buildOrds), j.Partitions)].Append(c.P, img)
+	}
+	// Phase 1: read the build side, hashing into memory until the grant
+	// is exhausted; on cut-over, dump the hash table to partitions and
+	// route the rest of the input straight to them (grace hash join).
+	j.ht = make(map[string][]row.Tuple)
+	var used int64
+	for {
+		t, ok, err := j.Build.Next(c)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		c.chargeCPU(c.CPU.PerHash)
+		if !j.spilled {
+			used += int64(row.EncodedSize(j.buildSchema, t)) + 48
+			if c.Grant <= 0 || used <= c.Grant {
+				k := keyOf(t, j.buildOrds)
+				j.ht[k] = append(j.ht[k], t)
+				continue
+			}
+			// Cut over to the grace path.
+			j.spilled = true
+			c.SpilledParts++
+			j.buildFiles = make([]*tempdb.SpillFile, j.Partitions)
+			j.probeFiles = make([]*tempdb.SpillFile, j.Partitions)
+			for i := range j.buildFiles {
+				j.buildFiles[i] = c.Temp.NewFile(fmt.Sprintf("hj-build-%d", i))
+				j.probeFiles[i] = c.Temp.NewFile(fmt.Sprintf("hj-probe-%d", i))
+			}
+			for _, rows := range j.ht {
+				for _, bt := range rows {
+					if err := writeBuild(bt); err != nil {
+						return err
+					}
+				}
+			}
+			j.ht = nil
+		}
+		if err := writeBuild(t); err != nil {
+			return err
+		}
+	}
+	if err := j.Build.Close(c); err != nil {
+		return err
+	}
+
+	if !j.spilled {
+		j.probing = true
+		return j.Probe.Open(c)
+	}
+	for _, f := range j.buildFiles {
+		if err := f.Flush(c.P); err != nil {
+			return err
+		}
+	}
+
+	// Partition the probe side.
+	if err := j.Probe.Open(c); err != nil {
+		return err
+	}
+	for {
+		t, ok, err := j.Probe.Next(c)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		img, err := row.Encode(nil, j.probeSchema, t)
+		if err != nil {
+			return err
+		}
+		c.chargeCPU(c.CPU.PerHash)
+		if err := j.probeFiles[partOf(keyOf(t, j.probeOrds), j.Partitions)].Append(c.P, img); err != nil {
+			return err
+		}
+	}
+	if err := j.Probe.Close(c); err != nil {
+		return err
+	}
+	for _, f := range j.probeFiles {
+		if err := f.Flush(c.P); err != nil {
+			return err
+		}
+	}
+	j.curPart = -1
+	return nil
+}
+
+func partOf(key string, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h = (h ^ uint32(key[i])) * 16777619
+	}
+	return int(h % uint32(n))
+}
+
+// Next produces the next joined row.
+func (j *HashJoin) Next(c *Ctx) (row.Tuple, bool, error) {
+	for {
+		if j.outPos < len(j.outBuf) {
+			t := j.outBuf[j.outPos]
+			j.outPos++
+			return t, true, nil
+		}
+		j.outBuf = j.outBuf[:0]
+		j.outPos = 0
+
+		if !j.spilled {
+			// In-memory: stream the probe side.
+			t, ok, err := j.Probe.Next(c)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				return nil, false, nil
+			}
+			c.chargeCPU(c.CPU.PerHash)
+			for _, b := range j.ht[keyOf(t, j.probeOrds)] {
+				j.outBuf = append(j.outBuf, concat(b, t))
+			}
+			continue
+		}
+
+		// Grace: stream the current partition's probe file.
+		if j.partReader != nil {
+			img, ok, err := j.partReader.Next(c.P)
+			if err != nil {
+				return nil, false, err
+			}
+			if ok {
+				t, err := row.Decode(j.probeSchema, img)
+				if err != nil {
+					return nil, false, err
+				}
+				c.chargeCPU(c.CPU.PerHash + c.CPU.PerRow)
+				for _, b := range j.ht[keyOf(t, j.probeOrds)] {
+					j.outBuf = append(j.outBuf, concat(b, t))
+				}
+				continue
+			}
+			j.partReader = nil
+		}
+		// Advance to the next partition: load its build side.
+		j.curPart++
+		if j.curPart >= j.Partitions {
+			return nil, false, nil
+		}
+		j.ht = make(map[string][]row.Tuple)
+		br := j.buildFiles[j.curPart].NewReader()
+		for {
+			img, ok, err := br.Next(c.P)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				break
+			}
+			t, err := row.Decode(j.buildSchema, img)
+			if err != nil {
+				return nil, false, err
+			}
+			c.chargeCPU(c.CPU.PerHash + c.CPU.PerRow)
+			k := keyOf(t, j.buildOrds)
+			j.ht[k] = append(j.ht[k], t)
+		}
+		j.partReader = j.probeFiles[j.curPart].NewReader()
+	}
+}
+
+func concat(a, b row.Tuple) row.Tuple {
+	out := make(row.Tuple, 0, len(a)+len(b))
+	out = append(out, a...)
+	out = append(out, b...)
+	return out
+}
+
+// Close releases join state (recycling any spill extents).
+func (j *HashJoin) Close(c *Ctx) error {
+	j.ht = nil
+	j.outBuf = nil
+	for _, f := range j.buildFiles {
+		f.Release()
+	}
+	for _, f := range j.probeFiles {
+		f.Release()
+	}
+	j.buildFiles, j.probeFiles = nil, nil
+	if !j.spilled {
+		return j.Probe.Close(c)
+	}
+	return nil
+}
+
+// Spilled reports whether the join went through TempDB.
+func (j *HashJoin) Spilled() bool { return j.spilled }
+
+// IndexNestedLoopJoin probes an index of the inner table for every outer
+// row — the plan whose crossover against HashJoin Figure 15b sweeps.
+type IndexNestedLoopJoin struct {
+	Outer     Op
+	OuterCols []string       // equality columns on the outer side
+	Inner     *catalog.Index // index on the inner table over the same columns
+	Fetch     bool           // look up full inner rows (vs index-only PK)
+
+	schema    *row.Schema
+	outerOrds []int
+	buf       []row.Tuple
+	pos       int
+}
+
+// Schema returns outer columns followed by the inner table's columns.
+func (j *IndexNestedLoopJoin) Schema() *row.Schema {
+	if j.schema == nil {
+		var cols []row.Column
+		cols = append(cols, j.Outer.Schema().Columns...)
+		seen := make(map[string]bool)
+		for _, c := range cols {
+			seen[c.Name] = true
+		}
+		for _, c := range j.Inner.Table.Schema.Columns {
+			if seen[c.Name] {
+				c.Name = c.Name + "_inner"
+			}
+			cols = append(cols, c)
+		}
+		j.schema = row.NewSchema(cols...)
+	}
+	return j.schema
+}
+
+// Open opens the outer side.
+func (j *IndexNestedLoopJoin) Open(c *Ctx) error {
+	j.outerOrds = nil
+	for _, col := range j.OuterCols {
+		j.outerOrds = append(j.outerOrds, j.Outer.Schema().MustOrdinal(col))
+	}
+	return j.Outer.Open(c)
+}
+
+// Next produces the next joined row.
+func (j *IndexNestedLoopJoin) Next(c *Ctx) (row.Tuple, bool, error) {
+	for {
+		if j.pos < len(j.buf) {
+			t := j.buf[j.pos]
+			j.pos++
+			return t, true, nil
+		}
+		j.buf = j.buf[:0]
+		j.pos = 0
+		outer, ok, err := j.Outer.Next(c)
+		if err != nil || !ok {
+			return nil, false, err
+		}
+		vals := make([]interface{}, len(j.outerOrds))
+		for i, o := range j.outerOrds {
+			vals[i] = outer[o]
+		}
+		from := row.EncodeKey(nil, vals...)
+		to := append(append([]byte(nil), from...), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)
+		pks, err := j.Inner.SeekRange(c.P, from, to, 0)
+		if err != nil {
+			return nil, false, err
+		}
+		for _, pk := range pks {
+			c.chargeCPU(c.CPU.PerRow)
+			inner, err := j.Inner.Table.LookupRow(c.P, pk)
+			if err != nil {
+				return nil, false, err
+			}
+			j.buf = append(j.buf, concat(outer, inner))
+		}
+	}
+}
+
+// Close closes the outer side.
+func (j *IndexNestedLoopJoin) Close(c *Ctx) error { return j.Outer.Close(c) }

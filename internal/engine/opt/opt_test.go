@@ -1,0 +1,98 @@
+package opt
+
+import "testing"
+
+func baseJoin() JoinInputs {
+	return JoinInputs{
+		OuterRows:      1000,
+		InnerRows:      500000,
+		InnerPages:     15000,
+		IndexHeight:    3,
+		MatchesPerSeek: 1,
+		IndexTier:      TierSSD,
+		TableTier:      TierSSD,
+	}
+}
+
+func TestINLJWinsAtHighSelectivity(t *testing.T) {
+	m := NewModel()
+	in := baseJoin()
+	in.OuterRows = 10
+	plan, inlj, hj := m.ChooseJoin(in)
+	if plan != PlanINLJ {
+		t.Fatalf("10 outer rows: plan=%v inlj=%v hj=%v", plan, inlj, hj)
+	}
+}
+
+func TestHJWinsAtLowSelectivity(t *testing.T) {
+	m := NewModel()
+	in := baseJoin()
+	in.OuterRows = 400000
+	plan, _, _ := m.ChooseJoin(in)
+	if plan != PlanHashJoin {
+		t.Fatalf("400K outer rows should hash join")
+	}
+}
+
+// The paper's Figure 15b claim: moving the index to a faster tier moves
+// the crossover toward lower selectivity thresholds for HJ (INLJ stays
+// competitive longer).
+func TestCrossoverShiftsWithTier(t *testing.T) {
+	m := NewModel()
+	in := baseJoin()
+	const totalOuter = 1500000
+
+	in.IndexTier, in.TableTier = TierSSD, TierSSD
+	ssdCross := m.CrossoverSelectivity(in, totalOuter)
+
+	in.IndexTier, in.TableTier = TierRemote, TierRemote
+	remoteCross := m.CrossoverSelectivity(in, totalOuter)
+
+	if !(remoteCross > ssdCross) {
+		t.Fatalf("crossover: remote %.5f should exceed ssd %.5f", remoteCross, ssdCross)
+	}
+	if ssdCross <= 0 || remoteCross >= 1 {
+		t.Fatalf("degenerate crossovers: ssd=%.5f remote=%.5f", ssdCross, remoteCross)
+	}
+}
+
+func TestCrossoverExtremes(t *testing.T) {
+	m := NewModel()
+	in := baseJoin()
+	// Free index seeks: INLJ wins everywhere.
+	m.Tiers[TierLocal] = Costs{}
+	in.IndexTier, in.TableTier = TierLocal, TierLocal
+	if c := m.CrossoverSelectivity(in, 1000000); c != 1.0 {
+		t.Fatalf("free-seek crossover = %v", c)
+	}
+	// Catastrophic seeks against a tiny inner table: HJ wins everywhere.
+	in.IndexTier, in.TableTier = TierHDD, TierHDD
+	in.InnerPages = 1
+	in.InnerRows = 100
+	if c := m.CrossoverSelectivity(in, 1000000); c != 0 {
+		t.Fatalf("hopeless-seek crossover = %v", c)
+	}
+}
+
+func TestCostMonotoneInOuterRows(t *testing.T) {
+	m := NewModel()
+	in := baseJoin()
+	prev := m.CostINLJ(in)
+	for rows := int64(2000); rows < 100000; rows *= 2 {
+		in.OuterRows = rows
+		cur := m.CostINLJ(in)
+		if cur <= prev {
+			t.Fatalf("INLJ cost not monotone at %d rows", rows)
+		}
+		prev = cur
+	}
+}
+
+func TestTierOrdering(t *testing.T) {
+	costs := DefaultCosts()
+	if !(costs[TierLocal].RandomPage < costs[TierRemote].RandomPage &&
+		costs[TierRemote].RandomPage < costs[TierSSD].RandomPage &&
+		costs[TierSSD].RandomPage < costs[TierHDD].RandomPage) {
+		t.Fatal("random-page costs must order Local < Remote < SSD < HDD")
+	}
+}

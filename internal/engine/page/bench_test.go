@@ -1,0 +1,47 @@
+package page
+
+import "testing"
+
+func BenchmarkInsert(b *testing.B) {
+	pg := Wrap(make([]byte, Size))
+	pg.Init(1, TypeHeap)
+	rec := make([]byte, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pg.Insert(rec); err == ErrPageFull {
+			pg.Init(1, TypeHeap)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	pg := Wrap(make([]byte, Size))
+	pg.Init(1, TypeHeap)
+	rec := make([]byte, 100)
+	n := 0
+	for {
+		if _, err := pg.Insert(rec); err != nil {
+			break
+		}
+		n++
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := pg.Get(i % n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSealVerify(b *testing.B) {
+	pg := Wrap(make([]byte, Size))
+	pg.Init(1, TypeHeap)
+	pg.Insert(make([]byte, 4000))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pg.Seal()
+		if err := pg.Verify(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package row
+
+import "testing"
+
+func benchSchema() *Schema {
+	return NewSchema(
+		Column{Name: "a", Type: Int64},
+		Column{Name: "b", Type: Float64},
+		Column{Name: "c", Type: String},
+		Column{Name: "d", Type: Int64},
+	)
+}
+
+func BenchmarkEncode(b *testing.B) {
+	s := benchSchema()
+	t := Tuple{int64(42), 3.25, "some string value", int64(7)}
+	buf := make([]byte, 0, 128)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var err error
+		if buf, err = Encode(buf[:0], s, t); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	s := benchSchema()
+	enc, _ := Encode(nil, s, Tuple{int64(42), 3.25, "some string value", int64(7)})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(s, enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeKey(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = EncodeKey(nil, int64(i), "segment", 3.5)
+	}
+}

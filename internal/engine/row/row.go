@@ -1,0 +1,322 @@
+// Package row defines tuple schemas, a compact binary tuple encoding,
+// and an order-preserving key encoding (memcmp-comparable), used by the
+// storage and execution layers of the engine.
+package row
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Type is a column type.
+type Type int
+
+// Column types supported by the engine.
+const (
+	Int64 Type = iota
+	Float64
+	String
+	Bytes
+)
+
+func (t Type) String() string {
+	switch t {
+	case Int64:
+		return "INT64"
+	case Float64:
+		return "FLOAT64"
+	case String:
+		return "STRING"
+	case Bytes:
+		return "BYTES"
+	}
+	return "UNKNOWN"
+}
+
+// Column describes one column.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema is an ordered set of columns.
+type Schema struct {
+	Columns []Column
+	byName  map[string]int
+}
+
+// NewSchema builds a schema; column names must be unique.
+func NewSchema(cols ...Column) *Schema {
+	s := &Schema{Columns: cols, byName: make(map[string]int, len(cols))}
+	for i, c := range cols {
+		if _, dup := s.byName[c.Name]; dup {
+			panic("row: duplicate column " + c.Name)
+		}
+		s.byName[c.Name] = i
+	}
+	return s
+}
+
+// Ordinal returns a column's index, or -1.
+func (s *Schema) Ordinal(name string) int {
+	if i, ok := s.byName[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// MustOrdinal is Ordinal but panics on unknown columns (schema bugs are
+// programming errors).
+func (s *Schema) MustOrdinal(name string) int {
+	i := s.Ordinal(name)
+	if i < 0 {
+		panic("row: unknown column " + name)
+	}
+	return i
+}
+
+// Len returns the column count.
+func (s *Schema) Len() int { return len(s.Columns) }
+
+// Project returns a schema of the named columns.
+func (s *Schema) Project(names ...string) *Schema {
+	cols := make([]Column, len(names))
+	for i, n := range names {
+		cols[i] = s.Columns[s.MustOrdinal(n)]
+	}
+	return NewSchema(cols...)
+}
+
+// Tuple is one row: values parallel to the schema's columns. Values are
+// int64, float64, string or []byte.
+type Tuple []interface{}
+
+// ErrCorrupt indicates an undecodable tuple image.
+var ErrCorrupt = errors.New("row: corrupt tuple encoding")
+
+// Encode appends the tuple's binary image to dst and returns it.
+func Encode(dst []byte, s *Schema, t Tuple) ([]byte, error) {
+	if len(t) != s.Len() {
+		return nil, fmt.Errorf("row: tuple arity %d does not match schema %d", len(t), s.Len())
+	}
+	var scratch [8]byte
+	for i, c := range s.Columns {
+		switch c.Type {
+		case Int64:
+			v, ok := t[i].(int64)
+			if !ok {
+				return nil, typeErr(c, t[i])
+			}
+			binary.BigEndian.PutUint64(scratch[:], uint64(v))
+			dst = append(dst, scratch[:]...)
+		case Float64:
+			v, ok := t[i].(float64)
+			if !ok {
+				return nil, typeErr(c, t[i])
+			}
+			binary.BigEndian.PutUint64(scratch[:], math.Float64bits(v))
+			dst = append(dst, scratch[:]...)
+		case String:
+			v, ok := t[i].(string)
+			if !ok {
+				return nil, typeErr(c, t[i])
+			}
+			if len(v) > math.MaxUint16 {
+				return nil, fmt.Errorf("row: string too long (%d)", len(v))
+			}
+			binary.BigEndian.PutUint16(scratch[:2], uint16(len(v)))
+			dst = append(dst, scratch[:2]...)
+			dst = append(dst, v...)
+		case Bytes:
+			v, ok := t[i].([]byte)
+			if !ok {
+				return nil, typeErr(c, t[i])
+			}
+			if len(v) > math.MaxUint16 {
+				return nil, fmt.Errorf("row: bytes too long (%d)", len(v))
+			}
+			binary.BigEndian.PutUint16(scratch[:2], uint16(len(v)))
+			dst = append(dst, scratch[:2]...)
+			dst = append(dst, v...)
+		}
+	}
+	return dst, nil
+}
+
+func typeErr(c Column, v interface{}) error {
+	return fmt.Errorf("row: column %s expects %v, got %T", c.Name, c.Type, v)
+}
+
+// Decode parses one tuple image.
+func Decode(s *Schema, b []byte) (Tuple, error) {
+	t := make(Tuple, s.Len())
+	for i, c := range s.Columns {
+		switch c.Type {
+		case Int64:
+			if len(b) < 8 {
+				return nil, ErrCorrupt
+			}
+			t[i] = int64(binary.BigEndian.Uint64(b))
+			b = b[8:]
+		case Float64:
+			if len(b) < 8 {
+				return nil, ErrCorrupt
+			}
+			t[i] = math.Float64frombits(binary.BigEndian.Uint64(b))
+			b = b[8:]
+		case String:
+			if len(b) < 2 {
+				return nil, ErrCorrupt
+			}
+			n := int(binary.BigEndian.Uint16(b))
+			b = b[2:]
+			if len(b) < n {
+				return nil, ErrCorrupt
+			}
+			t[i] = string(b[:n])
+			b = b[n:]
+		case Bytes:
+			if len(b) < 2 {
+				return nil, ErrCorrupt
+			}
+			n := int(binary.BigEndian.Uint16(b))
+			b = b[2:]
+			if len(b) < n {
+				return nil, ErrCorrupt
+			}
+			t[i] = append([]byte(nil), b[:n]...)
+			b = b[n:]
+		}
+	}
+	if len(b) != 0 {
+		return nil, ErrCorrupt
+	}
+	return t, nil
+}
+
+// DecodeColumn extracts a single column from a tuple image without
+// materializing the rest — the hot path for scans that aggregate one
+// column (the engine's RangeScan does exactly this).
+func DecodeColumn(s *Schema, b []byte, ord int) (interface{}, error) {
+	for i, c := range s.Columns {
+		switch c.Type {
+		case Int64:
+			if len(b) < 8 {
+				return nil, ErrCorrupt
+			}
+			if i == ord {
+				return int64(binary.BigEndian.Uint64(b)), nil
+			}
+			b = b[8:]
+		case Float64:
+			if len(b) < 8 {
+				return nil, ErrCorrupt
+			}
+			if i == ord {
+				return math.Float64frombits(binary.BigEndian.Uint64(b)), nil
+			}
+			b = b[8:]
+		case String:
+			if len(b) < 2 {
+				return nil, ErrCorrupt
+			}
+			n := int(binary.BigEndian.Uint16(b))
+			if len(b) < 2+n {
+				return nil, ErrCorrupt
+			}
+			if i == ord {
+				return string(b[2 : 2+n]), nil
+			}
+			b = b[2+n:]
+		case Bytes:
+			if len(b) < 2 {
+				return nil, ErrCorrupt
+			}
+			n := int(binary.BigEndian.Uint16(b))
+			if len(b) < 2+n {
+				return nil, ErrCorrupt
+			}
+			if i == ord {
+				return append([]byte(nil), b[2:2+n]...), nil
+			}
+			b = b[2+n:]
+		}
+	}
+	return nil, ErrCorrupt
+}
+
+// EncodedSize returns the byte length of the tuple's image.
+func EncodedSize(s *Schema, t Tuple) int {
+	n := 0
+	for i, c := range s.Columns {
+		switch c.Type {
+		case Int64, Float64:
+			n += 8
+		case String:
+			n += 2 + len(t[i].(string))
+		case Bytes:
+			n += 2 + len(t[i].([]byte))
+		}
+	}
+	return n
+}
+
+// --- Order-preserving key encoding --------------------------------------
+
+// EncodeKey appends an order-preserving (bytes.Compare-compatible)
+// encoding of the values to dst. Int64 uses sign-flipped big-endian;
+// Float64 uses the IEEE total-order trick; String/Bytes use 0x00-escaped
+// termination so prefixes order correctly.
+func EncodeKey(dst []byte, vals ...interface{}) []byte {
+	var scratch [8]byte
+	for _, v := range vals {
+		switch x := v.(type) {
+		case int64:
+			binary.BigEndian.PutUint64(scratch[:], uint64(x)^(1<<63))
+			dst = append(dst, scratch[:]...)
+		case int:
+			binary.BigEndian.PutUint64(scratch[:], uint64(int64(x))^(1<<63))
+			dst = append(dst, scratch[:]...)
+		case float64:
+			bits := math.Float64bits(x)
+			if bits&(1<<63) != 0 {
+				bits = ^bits
+			} else {
+				bits |= 1 << 63
+			}
+			binary.BigEndian.PutUint64(scratch[:], bits)
+			dst = append(dst, scratch[:]...)
+		case string:
+			dst = appendEscaped(dst, []byte(x))
+		case []byte:
+			dst = appendEscaped(dst, x)
+		default:
+			panic(fmt.Sprintf("row: unsupported key type %T", v))
+		}
+	}
+	return dst
+}
+
+// appendEscaped writes b with 0x00 -> 0x00 0xFF escaping and a 0x00 0x00
+// terminator, preserving lexicographic order across segments.
+func appendEscaped(dst, b []byte) []byte {
+	for _, c := range b {
+		if c == 0x00 {
+			dst = append(dst, 0x00, 0xFF)
+		} else {
+			dst = append(dst, c)
+		}
+	}
+	return append(dst, 0x00, 0x00)
+}
+
+// KeyOfColumns encodes the named columns of a tuple as a key.
+func KeyOfColumns(s *Schema, t Tuple, cols ...string) []byte {
+	vals := make([]interface{}, len(cols))
+	for i, c := range cols {
+		vals[i] = t[s.MustOrdinal(c)]
+	}
+	return EncodeKey(nil, vals...)
+}

@@ -1,0 +1,222 @@
+package row
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func testSchema() *Schema {
+	return NewSchema(
+		Column{"id", Int64},
+		Column{"balance", Float64},
+		Column{"name", String},
+		Column{"blob", Bytes},
+	)
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	s := testSchema()
+	in := Tuple{int64(-42), 3.25, "hello", []byte{1, 2, 3}}
+	b, err := Encode(nil, s, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Decode(s, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip: %v != %v", in, out)
+	}
+	if len(b) != EncodedSize(s, in) {
+		t.Fatalf("EncodedSize = %d, actual %d", EncodedSize(s, in), len(b))
+	}
+}
+
+func TestEncodeTypeMismatch(t *testing.T) {
+	s := testSchema()
+	if _, err := Encode(nil, s, Tuple{"oops", 1.0, "x", []byte{}}); err == nil {
+		t.Fatal("wrong type accepted")
+	}
+	if _, err := Encode(nil, s, Tuple{int64(1)}); err == nil {
+		t.Fatal("wrong arity accepted")
+	}
+}
+
+func TestDecodeCorrupt(t *testing.T) {
+	s := testSchema()
+	good, _ := Encode(nil, s, Tuple{int64(1), 2.0, "abc", []byte{9}})
+	for _, cut := range []int{1, 8, 17, len(good) - 1} {
+		if _, err := Decode(s, good[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	if _, err := Decode(s, append(good, 0)); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestSchemaOrdinalsAndProject(t *testing.T) {
+	s := testSchema()
+	if s.Ordinal("name") != 2 || s.Ordinal("nope") != -1 {
+		t.Fatal("ordinal lookup broken")
+	}
+	p := s.Project("name", "id")
+	if p.Len() != 2 || p.Columns[0].Name != "name" || p.Columns[1].Type != Int64 {
+		t.Fatal("projection broken")
+	}
+}
+
+// Property: Encode/Decode round-trips arbitrary tuples.
+func TestRoundTripProperty(t *testing.T) {
+	s := NewSchema(Column{"a", Int64}, Column{"b", Float64}, Column{"c", String})
+	f := func(a int64, b float64, c string) bool {
+		if math.IsNaN(b) {
+			return true
+		}
+		if len(c) > 1000 {
+			c = c[:1000]
+		}
+		in := Tuple{a, b, c}
+		enc, err := Encode(nil, s, in)
+		if err != nil {
+			return false
+		}
+		out, err := Decode(s, enc)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: int64 key encoding preserves order.
+func TestKeyOrderInt64Property(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka := EncodeKey(nil, a)
+		kb := EncodeKey(nil, b)
+		cmp := bytes.Compare(ka, kb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: float64 key encoding preserves order (non-NaN).
+func TestKeyOrderFloat64Property(t *testing.T) {
+	f := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		ka := EncodeKey(nil, a)
+		kb := EncodeKey(nil, b)
+		cmp := bytes.Compare(ka, kb)
+		switch {
+		case a < b:
+			return cmp < 0
+		case a > b:
+			return cmp > 0
+		default:
+			return cmp == 0
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: string key encoding preserves order, including embedded NULs.
+func TestKeyOrderStringProperty(t *testing.T) {
+	f := func(a, b string) bool {
+		ka := EncodeKey(nil, a)
+		kb := EncodeKey(nil, b)
+		cmp := bytes.Compare(ka, kb)
+		want := 0
+		if a < b {
+			want = -1
+		} else if a > b {
+			want = 1
+		}
+		return sign(cmp) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sign(x int) int {
+	if x < 0 {
+		return -1
+	}
+	if x > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Composite keys: (a, b) sorts like sorting on a then b, even when string
+// segments are prefixes of one another.
+func TestCompositeKeyOrder(t *testing.T) {
+	type pair struct {
+		s string
+		n int64
+	}
+	pairs := []pair{{"a", 5}, {"a", -1}, {"ab", 0}, {"a\x00b", 2}, {"", 9}, {"a", 5}}
+	keys := make([][]byte, len(pairs))
+	for i, pr := range pairs {
+		keys[i] = EncodeKey(nil, pr.s, pr.n)
+	}
+	idx := []int{0, 1, 2, 3, 4, 5}
+	sort.Slice(idx, func(i, j int) bool { return bytes.Compare(keys[idx[i]], keys[idx[j]]) < 0 })
+	sorted := make([]pair, len(idx))
+	for i, j := range idx {
+		sorted[i] = pairs[j]
+	}
+	want := []pair{{"", 9}, {"a", -1}, {"a", 5}, {"a", 5}, {"a\x00b", 2}, {"ab", 0}}
+	if !reflect.DeepEqual(sorted, want) {
+		t.Fatalf("composite order = %v, want %v", sorted, want)
+	}
+}
+
+func TestKeyOfColumns(t *testing.T) {
+	s := testSchema()
+	tp := Tuple{int64(7), 1.5, "abc", []byte{1}}
+	k1 := KeyOfColumns(s, tp, "name", "id")
+	k2 := EncodeKey(nil, "abc", int64(7))
+	if !bytes.Equal(k1, k2) {
+		t.Fatal("KeyOfColumns disagrees with EncodeKey")
+	}
+}
+
+func TestDecodeColumnMatchesDecode(t *testing.T) {
+	s := testSchema()
+	in := Tuple{int64(-42), 3.25, "hello", []byte{1, 2, 3}}
+	b, _ := Encode(nil, s, in)
+	for i := range in {
+		got, err := DecodeColumn(s, b, i)
+		if err != nil {
+			t.Fatalf("col %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, in[i]) {
+			t.Fatalf("col %d = %v, want %v", i, got, in[i])
+		}
+	}
+	if _, err := DecodeColumn(s, b[:5], 3); err == nil {
+		t.Fatal("truncated image accepted")
+	}
+}

@@ -1,0 +1,211 @@
+// Package tempdb manages the engine's spill space — the paper's
+// scenario (ii). Hash joins and external sorts write runs and partitions
+// through SpillFiles, which buffer into large sequential blocks (512 KiB,
+// the I/O size of the paper's analytics traces) over whatever vfs.File
+// TempDB is placed on: the HDD array, the SSD, or a remote-memory file.
+package tempdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"remotedb/internal/sim"
+	"remotedb/internal/vfs"
+)
+
+// BlockSize is the spill I/O unit.
+const BlockSize = 512 << 10
+
+// extentSize is the allocation granularity within the TempDB file.
+const extentSize = 4 << 20
+
+// TempDB allocates spill files within one backing file. Extents of
+// finished spill files are recycled, so long query streams stay within
+// the TempDB file's fixed capacity.
+type TempDB struct {
+	file    vfs.File
+	nextExt int64
+	free    []int64
+
+	BytesSpilled int64
+	BytesRead    int64
+}
+
+// New creates a TempDB over file.
+func New(file vfs.File) *TempDB { return &TempDB{file: file} }
+
+// File returns the backing file.
+func (t *TempDB) File() vfs.File { return t.file }
+
+// allocExtent reserves a contiguous extent and returns its base offset,
+// preferring recycled extents.
+func (t *TempDB) allocExtent() int64 {
+	if n := len(t.free); n > 0 {
+		off := t.free[n-1]
+		t.free = t.free[:n-1]
+		return off
+	}
+	off := t.nextExt
+	t.nextExt += extentSize
+	return off
+}
+
+// HighWater returns the highest byte offset ever allocated.
+func (t *TempDB) HighWater() int64 { return t.nextExt }
+
+// SpillFile is one append-only spill stream holding length-prefixed
+// records, written in BlockSize chunks across chained extents.
+type SpillFile struct {
+	t       *TempDB
+	name    string
+	extents []int64
+	size    int64 // logical bytes written
+	wbuf    []byte
+
+	Records int64
+}
+
+// NewFile opens a fresh spill stream.
+func (t *TempDB) NewFile(name string) *SpillFile {
+	return &SpillFile{t: t, name: name}
+}
+
+// Append adds one record (length-prefixed internally).
+func (s *SpillFile) Append(p *sim.Proc, rec []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(rec)))
+	s.wbuf = append(s.wbuf, hdr[:]...)
+	s.wbuf = append(s.wbuf, rec...)
+	s.Records++
+	for len(s.wbuf) >= BlockSize {
+		if err := s.flushBlock(p, s.wbuf[:BlockSize]); err != nil {
+			return err
+		}
+		s.wbuf = s.wbuf[BlockSize:]
+	}
+	return nil
+}
+
+// Flush writes any buffered tail; call once after the last Append.
+func (s *SpillFile) Flush(p *sim.Proc) error {
+	if len(s.wbuf) == 0 {
+		return nil
+	}
+	err := s.flushBlock(p, s.wbuf)
+	s.wbuf = nil
+	return err
+}
+
+// flushBlock maps the next logical range onto extents and writes it.
+func (s *SpillFile) flushBlock(p *sim.Proc, b []byte) error {
+	off := s.size
+	for len(b) > 0 {
+		extIdx := int(off / extentSize)
+		within := off % extentSize
+		for extIdx >= len(s.extents) {
+			s.extents = append(s.extents, s.t.allocExtent())
+		}
+		n := extentSize - within
+		if n > int64(len(b)) {
+			n = int64(len(b))
+		}
+		if err := s.t.file.WriteAt(p, b[:n], s.extents[extIdx]+within); err != nil {
+			return err
+		}
+		s.t.BytesSpilled += n
+		off += n
+		b = b[n:]
+	}
+	s.size = off
+	return nil
+}
+
+// Size returns logical bytes flushed so far.
+func (s *SpillFile) Size() int64 { return s.size }
+
+// Release returns the stream's extents to the TempDB free list. The
+// stream must not be read afterwards.
+func (s *SpillFile) Release() {
+	s.t.free = append(s.t.free, s.extents...)
+	s.extents = nil
+	s.size = 0
+	s.wbuf = nil
+}
+
+// Reader iterates the spill stream's records sequentially, reading
+// BlockSize chunks.
+type Reader struct {
+	s    *SpillFile
+	off  int64
+	buf  []byte
+	bpos int
+}
+
+// ErrTruncated indicates a record crosses the end of the stream.
+var ErrTruncated = errors.New("tempdb: truncated spill stream")
+
+// NewReader opens the stream for sequential reads. The stream must be
+// Flushed first.
+func (s *SpillFile) NewReader() *Reader {
+	if len(s.wbuf) != 0 {
+		panic(fmt.Sprintf("tempdb: %s read before Flush", s.name))
+	}
+	return &Reader{s: s}
+}
+
+// fill ensures at least n bytes are buffered (or the stream is exhausted).
+func (r *Reader) fill(p *sim.Proc, n int) error {
+	for len(r.buf)-r.bpos < n {
+		if r.off >= r.s.size {
+			return ErrTruncated
+		}
+		take := int64(BlockSize)
+		if r.off+take > r.s.size {
+			take = r.s.size - r.off
+		}
+		chunk := make([]byte, take)
+		// Map logical offset onto extents (reads may straddle them).
+		read := int64(0)
+		for read < take {
+			extIdx := int((r.off + read) / extentSize)
+			within := (r.off + read) % extentSize
+			m := extentSize - within
+			if m > take-read {
+				m = take - read
+			}
+			if err := r.s.t.file.ReadAt(p, chunk[read:read+m], r.s.extents[extIdx]+within); err != nil {
+				return err
+			}
+			read += m
+		}
+		r.s.t.BytesRead += take
+		r.off += take
+		r.buf = append(r.buf[r.bpos:], chunk...)
+		r.bpos = 0
+	}
+	return nil
+}
+
+// Next returns the next record, or ok=false at end of stream.
+func (r *Reader) Next(p *sim.Proc) ([]byte, bool, error) {
+	if int64(len(r.buf)-r.bpos) == 0 && r.off >= r.s.size {
+		return nil, false, nil
+	}
+	if err := r.fill(p, 4); err != nil {
+		if err == ErrTruncated && len(r.buf)-r.bpos == 0 {
+			return nil, false, nil
+		}
+		return nil, false, err
+	}
+	n := int(binary.LittleEndian.Uint32(r.buf[r.bpos:]))
+	r.bpos += 4
+	if err := r.fill(p, n); err != nil {
+		return nil, false, err
+	}
+	rec := r.buf[r.bpos : r.bpos+n]
+	r.bpos += n
+	return rec, true, nil
+}
+
+var _ = vfs.ErrClosed // keep the vfs dependency explicit for godoc linking

@@ -1,0 +1,123 @@
+package txn
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"remotedb/internal/cluster"
+	"remotedb/internal/sim"
+	"remotedb/internal/vfs"
+)
+
+func TestAppendCommitReplay(t *testing.T) {
+	k := sim.New(1)
+	k.Go("t", func(p *sim.Proc) {
+		lm := New(k, vfs.NewMemFile("log"))
+		var lsns []uint64
+		for i := 0; i < 10; i++ {
+			lsns = append(lsns, lm.Append(RecUpdate, []byte(fmt.Sprintf("rec-%d", i))))
+		}
+		if err := lm.Commit(p, lsns[9]); err != nil {
+			t.Error(err)
+			return
+		}
+		if lm.FlushedLSN() < lsns[9] {
+			t.Errorf("flushed = %d, want >= %d", lm.FlushedLSN(), lsns[9])
+		}
+		var got []string
+		err := lm.Replay(p, 0, func(r Record) error {
+			got = append(got, string(r.Payload))
+			return nil
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if len(got) != 10 || got[0] != "rec-0" || got[9] != "rec-9" {
+			t.Errorf("replay = %v", got)
+		}
+	})
+	k.Run(time.Minute)
+}
+
+func TestReplayAfterLSN(t *testing.T) {
+	k := sim.New(1)
+	k.Go("t", func(p *sim.Proc) {
+		lm := New(k, vfs.NewMemFile("log"))
+		for i := 0; i < 10; i++ {
+			lm.Append(RecSemCache, []byte{byte(i)})
+		}
+		lm.Commit(p, 10)
+		count := 0
+		lm.Replay(p, 5, func(r Record) error {
+			count++
+			if r.LSN <= 5 {
+				t.Errorf("replayed LSN %d <= 5", r.LSN)
+			}
+			return nil
+		})
+		if count != 5 {
+			t.Errorf("replayed %d records, want 5", count)
+		}
+	})
+	k.Run(time.Minute)
+}
+
+func TestGroupCommit(t *testing.T) {
+	// Many committers on a slow log device: flush count must be far below
+	// the committer count.
+	k := sim.New(1)
+	cfg := cluster.DefaultConfig()
+	cfg.Spindles = 4
+	s := cluster.NewServer(k, "db", cfg)
+	lm := New(k, vfs.NewDeviceFile("log", s.HDD))
+	const committers = 50
+	done := sim.NewWaitGroup(k)
+	done.Add(committers)
+	for i := 0; i < committers; i++ {
+		k.Go("c", func(p *sim.Proc) {
+			lsn := lm.Append(RecCommit, []byte("payload"))
+			if err := lm.Commit(p, lsn); err != nil {
+				t.Error(err)
+			}
+			done.Done()
+		})
+	}
+	k.Go("wait", func(p *sim.Proc) { done.Wait(p) })
+	k.Run(time.Minute)
+	if lm.Flushes >= committers/2 {
+		t.Fatalf("flushes = %d for %d committers; group commit not batching", lm.Flushes, committers)
+	}
+	if lm.FlushedLSN() < uint64(committers) {
+		t.Fatalf("not all commits flushed: %d", lm.FlushedLSN())
+	}
+}
+
+func TestCommitNoopWhenAlreadyFlushed(t *testing.T) {
+	k := sim.New(1)
+	k.Go("t", func(p *sim.Proc) {
+		lm := New(k, vfs.NewMemFile("log"))
+		lsn := lm.Append(RecUpdate, nil)
+		lm.Commit(p, lsn)
+		flushes := lm.Flushes
+		lm.Commit(p, lsn) // already durable
+		if lm.Flushes != flushes {
+			t.Error("redundant commit flushed again")
+		}
+	})
+	k.Run(time.Minute)
+}
+
+func TestReplayEmptyLog(t *testing.T) {
+	k := sim.New(1)
+	k.Go("t", func(p *sim.Proc) {
+		lm := New(k, vfs.NewMemFile("log"))
+		called := false
+		lm.Replay(p, 0, func(Record) error { called = true; return nil })
+		if called {
+			t.Error("empty log replayed records")
+		}
+	})
+	k.Run(time.Minute)
+}

@@ -1,0 +1,269 @@
+// Package exp is the experiment harness: it assembles the test beds for
+// the six evaluated designs of Table 5 and contains one runner per table
+// and figure of the paper's evaluation (Sections 6 and Appendix B). The
+// bench targets in the repository root call these runners.
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"remotedb/internal/broker"
+	"remotedb/internal/broker/metastore"
+	"remotedb/internal/cluster"
+	"remotedb/internal/core"
+	"remotedb/internal/engine"
+	"remotedb/internal/engine/page"
+	"remotedb/internal/hw/nic"
+	"remotedb/internal/rmem"
+	"remotedb/internal/sim"
+	"remotedb/internal/vfs"
+)
+
+// Design is one evaluated alternative (Table 5).
+type Design int
+
+// The six designs of Table 5.
+const (
+	DesignHDD Design = iota
+	DesignHDDSSD
+	DesignSMB
+	DesignSMBDirect
+	DesignCustom
+	DesignLocalMemory
+)
+
+// AllDesigns lists the designs in the paper's presentation order.
+var AllDesigns = []Design{
+	DesignHDD, DesignHDDSSD, DesignSMB, DesignSMBDirect, DesignCustom, DesignLocalMemory,
+}
+
+// RemoteDesigns are the three designs that use remote memory.
+var RemoteDesigns = []Design{DesignSMB, DesignSMBDirect, DesignCustom}
+
+func (d Design) String() string {
+	switch d {
+	case DesignHDD:
+		return "HDD"
+	case DesignHDDSSD:
+		return "HDD+SSD"
+	case DesignSMB:
+		return "SMB+RamDrive"
+	case DesignSMBDirect:
+		return "SMBDirect+RamDrive"
+	case DesignCustom:
+		return "Custom"
+	case DesignLocalMemory:
+		return "Local Memory"
+	}
+	return "unknown"
+}
+
+// Remote reports whether the design uses remote memory.
+func (d Design) Remote() bool {
+	return d == DesignSMB || d == DesignSMBDirect || d == DesignCustom
+}
+
+func (d Design) protocol() nic.Protocol {
+	switch d {
+	case DesignSMB:
+		return nic.ProtoSMB
+	case DesignSMBDirect:
+		return nic.ProtoSMBDirect
+	default:
+		return nic.ProtoRDMA
+	}
+}
+
+// BedConfig sizes one test bed. All byte quantities are the paper's
+// scaled 1000x down (Table 4).
+type BedConfig struct {
+	Design        Design
+	Spindles      int   // HDD RAID width (paper default: 20)
+	LocalMemBytes int64 // DB server buffer pool memory
+	BPExtBytes    int64 // extension size; 0 disables
+	TempBytes     int64 // TempDB capacity (remote designs lease this much)
+	RemoteServers int   // memory servers contributing MRs
+	MRBytes       int   // memory-region size
+	Seed          int64
+	OLTP          bool // analytics workloads disable the SSD BPExt (Section 5.3)
+
+	// GrantBytes overrides the default per-query memory grant.
+	GrantBytes int64
+}
+
+// DefaultBedConfig mirrors the paper's default hardware (Table 3) with
+// RangeScan sizing (Table 4): 32 MB local memory, 128 MB BPExt, 8 MB
+// TempDB.
+func DefaultBedConfig(d Design) BedConfig {
+	return BedConfig{
+		Design:        d,
+		Spindles:      20,
+		LocalMemBytes: 32 << 20,
+		BPExtBytes:    128 << 20,
+		TempBytes:     8 << 20,
+		RemoteServers: 1,
+		MRBytes:       8 << 20,
+		Seed:          1,
+		OLTP:          true,
+	}
+}
+
+// Bed is one assembled test bed.
+type Bed struct {
+	K       *sim.Kernel
+	Cfg     BedConfig
+	DB      *cluster.Server
+	Mems    []*cluster.Server
+	Broker  *broker.Broker
+	Proxies []*broker.Proxy
+	FS      *core.FS
+	Eng     *engine.Engine
+
+	TempFile  vfs.File
+	BPExtFile vfs.File
+}
+
+// serverConfig returns the Table 3 server scaled down.
+func serverConfig(spindles int) cluster.Config {
+	cfg := cluster.DefaultConfig()
+	cfg.Spindles = spindles
+	cfg.MemoryBytes = 384 << 20
+	return cfg
+}
+
+// NewBed assembles a bed inside the running simulation process p.
+func NewBed(p *sim.Proc, cfg BedConfig) (*Bed, error) {
+	k := p.Kernel()
+	bed := &Bed{K: k, Cfg: cfg}
+	bed.DB = cluster.NewServer(k, "db1", serverConfig(cfg.Spindles))
+
+	// Effective local memory: the Local Memory design gets the remote
+	// memory's worth locally (Section 5.3).
+	localBytes := cfg.LocalMemBytes
+	if cfg.Design == DesignLocalMemory {
+		localBytes += cfg.BPExtBytes + cfg.TempBytes
+	}
+	frames := int(localBytes / page.Size)
+
+	// Remote side.
+	var tempFile, bpextFile vfs.File
+	if cfg.Design.Remote() {
+		store := metastore.New(k, 10*time.Microsecond)
+		b := broker.New(p, store, broker.DefaultConfig())
+		bed.Broker = b
+		need := cfg.TempBytes + cfg.BPExtBytes
+		perServer := (need + int64(cfg.RemoteServers) - 1) / int64(cfg.RemoteServers)
+		mrs := int((perServer+int64(cfg.MRBytes)-1)/int64(cfg.MRBytes)) + 4
+		for i := 0; i < cfg.RemoteServers; i++ {
+			m := cluster.NewServer(k, fmt.Sprintf("mem%d", i+1), serverConfig(cfg.Spindles))
+			bed.Mems = append(bed.Mems, m)
+			px, err := b.AddProxy(p, m, cfg.MRBytes, mrs)
+			if err != nil {
+				return nil, err
+			}
+			bed.Proxies = append(bed.Proxies, px)
+		}
+		clientCfg := rmem.DefaultClientConfig()
+		if cfg.Design != DesignCustom {
+			clientCfg.Mode = rmem.AccessAsync
+		}
+		client := rmem.NewClient(p, bed.DB, clientCfg)
+		fsCfg := core.DefaultConfig()
+		fsCfg.Protocol = cfg.Design.protocol()
+		bed.FS = core.NewFS(p, b, client, fsCfg)
+
+		if cfg.TempBytes > 0 {
+			f, err := bed.FS.Create(p, "tempdb", cfg.TempBytes)
+			if err != nil {
+				return nil, err
+			}
+			if err := f.OpenConn(p); err != nil {
+				return nil, err
+			}
+			tempFile = f
+		}
+		if cfg.BPExtBytes > 0 {
+			f, err := bed.FS.Create(p, "bpext", cfg.BPExtBytes)
+			if err != nil {
+				return nil, err
+			}
+			if err := f.OpenConn(p); err != nil {
+				return nil, err
+			}
+			bpextFile = f
+		}
+	} else {
+		switch cfg.Design {
+		case DesignHDD:
+			tempFile = vfs.NewDeviceFile("tempdb", bed.DB.HDD)
+		case DesignHDDSSD, DesignLocalMemory:
+			tempFile = vfs.NewDeviceFile("tempdb", bed.DB.SSD)
+		}
+		if cfg.Design == DesignHDDSSD && cfg.OLTP && cfg.BPExtBytes > 0 {
+			bpextFile = vfs.NewDeviceFile("bpext", bed.DB.SSD)
+		}
+	}
+	bed.TempFile = tempFile
+	bed.BPExtFile = bpextFile
+
+	ecfg := engine.DefaultConfig(frames)
+	if cfg.GrantBytes > 0 {
+		ecfg.Grant = cfg.GrantBytes
+	}
+	if bpextFile != nil {
+		ecfg.BPExtSlots = int(cfg.BPExtBytes / page.Size)
+	}
+	if cfg.Design.Remote() {
+		ecfg.SemCache = func(p *sim.Proc, name string, size int64) (vfs.File, error) {
+			f, err := bed.FS.Create(p, "semcache-"+name, size)
+			if err != nil {
+				return nil, err
+			}
+			return f, f.OpenConn(p)
+		}
+	} else {
+		ecfg.SemCache = func(p *sim.Proc, name string, size int64) (vfs.File, error) {
+			return vfs.NewDeviceFile("semcache-"+name, bed.DB.SSD), nil
+		}
+	}
+
+	files := engine.Files{
+		Data:  vfs.NewDeviceFile("data", bed.DB.HDD),
+		Log:   vfs.NewDeviceFile("log", bed.DB.HDD),
+		Temp:  tempFile,
+		BPExt: bpextFile,
+	}
+	eng, err := engine.New(p, bed.DB, files, ecfg)
+	if err != nil {
+		return nil, err
+	}
+	bed.Eng = eng
+	return bed, nil
+}
+
+// Close tears the bed down: it stops the engine's background machinery
+// and closes all remote files (ending their lease-renewal processes) so
+// the simulation's event queue can drain promptly. Every experiment
+// runner must call it when done.
+func (bed *Bed) Close(p *sim.Proc) {
+	if bed.Eng != nil {
+		bed.Eng.Shutdown()
+	}
+	if bed.FS != nil {
+		bed.FS.CloseAll(p)
+	}
+}
+
+// RunInSim is the standard experiment wrapper: it creates a kernel,
+// runs fn as the root process, and drives the simulation to completion
+// (bounded by limit to catch runaway experiments).
+func RunInSim(seed int64, limit time.Duration, fn func(p *sim.Proc) error) error {
+	k := sim.New(seed)
+	var err error
+	k.Go("experiment", func(p *sim.Proc) {
+		err = fn(p)
+	})
+	k.Run(limit)
+	return err
+}

@@ -1,0 +1,17 @@
+package exp
+
+import (
+	"testing"
+)
+
+func TestHashSortSmoke(t *testing.T) {
+	for _, d := range []Design{DesignHDDSSD, DesignCustom} {
+		prm := DefaultHashSortParams()
+		r, err := RunHashSort(1, d, prm)
+		if err != nil {
+			t.Fatalf("%v: %v", d, err)
+		}
+		t.Logf("%v: lat=%v joinSpill=%v sortSpill=%v wrote=%dMB read=%dMB",
+			d, r.Latency, r.JoinSpilled, r.SortSpilled, r.TempDBWrote>>20, r.TempDBRead>>20)
+	}
+}

@@ -1,0 +1,90 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+// find returns the row for a config+pattern.
+func find(t *testing.T, rows []IORow, config, pattern string) IORow {
+	t.Helper()
+	for _, r := range rows {
+		if r.Config == config && r.Pattern == pattern {
+			return r
+		}
+	}
+	t.Fatalf("no row for %s/%s", config, pattern)
+	return IORow{}
+}
+
+func TestIOMicroShapes(t *testing.T) {
+	res, err := RunIOMicro(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 14 {
+		t.Fatalf("rows = %d, want 14", len(res.Rows))
+	}
+	// Figure 3 orderings: random throughput Custom > SMBDirect > SMB >
+	// SSD > HDD(20) > HDD(8) > HDD(4).
+	rnd := func(c string) float64 { return find(t, res.Rows, c, "8K Random").BytesPerSec }
+	order := []string{"Custom", "SMBDirect+RamDrive", "SMB+RamDrive", "SSD", "HDD(20)", "HDD(8)", "HDD(4)"}
+	for i := 1; i < len(order); i++ {
+		if !(rnd(order[i-1]) > rnd(order[i])) {
+			t.Errorf("random ordering violated: %s (%.3g) <= %s (%.3g)",
+				order[i-1], rnd(order[i-1]), order[i], rnd(order[i]))
+		}
+	}
+	// Sequential: remote designs beat HDD(20) which beats SSD (RAID-0
+	// sequential outruns the SSD — the paper's observation).
+	seq := func(c string) float64 { return find(t, res.Rows, c, "512K Sequential").BytesPerSec }
+	if !(seq("Custom") > seq("HDD(20)") && seq("HDD(20)") > seq("SSD")) {
+		t.Errorf("sequential ordering violated: custom=%.3g hdd20=%.3g ssd=%.3g",
+			seq("Custom"), seq("HDD(20)"), seq("SSD"))
+	}
+	// Figure 4: Custom random latency is tens of microseconds; HDD is
+	// milliseconds.
+	lat := find(t, res.Rows, "Custom", "8K Random").Latency
+	if lat > 100*time.Microsecond {
+		t.Errorf("custom random latency = %v", lat)
+	}
+	if find(t, res.Rows, "HDD(20)", "8K Random").Latency < time.Millisecond {
+		t.Error("hdd random latency should be milliseconds")
+	}
+}
+
+func TestFig05ThroughputIndependentOfServerCount(t *testing.T) {
+	pts, err := RunFig05MultiMemoryServers(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := pts[0].RandomBPS
+	for _, pt := range pts {
+		if pt.RandomBPS < base*0.85 || pt.RandomBPS > base*1.15 {
+			t.Errorf("%d servers: random bps %.3g deviates from %.3g", pt.Servers, pt.RandomBPS, base)
+		}
+		if pt.SeqBPS < pts[0].SeqBPS*0.85 {
+			t.Errorf("%d servers: seq bps %.3g dropped", pt.Servers, pt.SeqBPS)
+		}
+	}
+}
+
+func TestFig06SaturationBehaviour(t *testing.T) {
+	pts, err := RunFig06MultiDBServers(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Aggregate throughput grows with DB count until the memory server's
+	// NIC saturates; latency rises after saturation.
+	if !(pts[1].RandomBPS > pts[0].RandomBPS*1.5) {
+		t.Errorf("2 DBs should nearly double throughput: %.3g vs %.3g", pts[1].RandomBPS, pts[0].RandomBPS)
+	}
+	last := pts[len(pts)-1]
+	prev := pts[len(pts)-2]
+	if last.RandomBPS > prev.RandomBPS*1.35 {
+		t.Errorf("8 DBs should be near saturation: %.3g vs %.3g", last.RandomBPS, prev.RandomBPS)
+	}
+	if !(last.RandomLat > pts[0].RandomLat*2) {
+		t.Errorf("latency should rise under saturation: %v vs %v", last.RandomLat, pts[0].RandomLat)
+	}
+}

@@ -1,0 +1,240 @@
+package exp
+
+import (
+	"time"
+
+	"remotedb/internal/metrics"
+	"remotedb/internal/sim"
+	"remotedb/internal/workload"
+)
+
+// RangeScanResult is one bar of Figures 7-10.
+type RangeScanResult struct {
+	Design     Design
+	Spindles   int
+	Throughput float64 // queries/sec
+	MeanLat    time.Duration
+	P95Lat     time.Duration
+
+	ExtHits, DiskReads int64
+}
+
+// RangeScanParams tunes one RangeScan experiment run.
+type RangeScanParams struct {
+	UpdateFraction float64
+	Spindles       int
+	LocalMemBytes  int64
+	BPExtBytes     int64
+	RemoteServers  int
+	Rows           int
+	Clients        int
+	Warmup         time.Duration
+	Measure        time.Duration
+	Hotspot        *workload.Hotspot
+}
+
+// DefaultRangeScanParams mirrors Table 4's RangeScan row (scaled).
+func DefaultRangeScanParams() RangeScanParams {
+	return RangeScanParams{
+		Spindles:      20,
+		LocalMemBytes: 32 << 20,
+		BPExtBytes:    128 << 20,
+		RemoteServers: 1,
+		Rows:          500000,
+		Clients:       80,
+		Warmup:        500 * time.Millisecond,
+		Measure:       time.Second,
+	}
+}
+
+// RunRangeScan runs the workload on one design and returns the bar.
+func RunRangeScan(seed int64, d Design, prm RangeScanParams) (*RangeScanResult, error) {
+	out := &RangeScanResult{Design: d, Spindles: prm.Spindles}
+	err := RunInSim(seed, 2*time.Hour, func(p *sim.Proc) error {
+		cfg := DefaultBedConfig(d)
+		cfg.Spindles = prm.Spindles
+		cfg.LocalMemBytes = prm.LocalMemBytes
+		cfg.BPExtBytes = prm.BPExtBytes
+		cfg.RemoteServers = prm.RemoteServers
+		cfg.TempBytes = 8 << 20
+		bed, err := NewBed(p, cfg)
+		if err != nil {
+			return err
+		}
+		wcfg := workload.DefaultRangeScan()
+		wcfg.Rows = prm.Rows
+		wcfg.UpdateFraction = prm.UpdateFraction
+		wcfg.Clients = prm.Clients
+		wcfg.Hotspot = prm.Hotspot
+		w, err := workload.NewRangeScan(p, bed.Eng, wcfg)
+		if err != nil {
+			return err
+		}
+		res := w.Run(p, prm.Warmup, prm.Measure)
+		out.Throughput = res.Throughput()
+		out.MeanLat = res.Latency.Mean()
+		out.P95Lat = res.Latency.P95()
+		out.ExtHits = bed.Eng.BP.Stats.ExtHits
+		out.DiskReads = bed.Eng.BP.Stats.DiskReads
+		bed.Close(p)
+		return nil
+	})
+	return out, err
+}
+
+// RunFig0708RangeScanUpdates reproduces Figures 7 and 8: the 20%-update
+// RangeScan across designs and spindle counts.
+func RunFig0708RangeScanUpdates(seed int64, spindleCounts []int, designs []Design) ([]RangeScanResult, error) {
+	return rangeScanMatrix(seed, 0.20, spindleCounts, designs)
+}
+
+// RunFig0910RangeScanReadOnly reproduces Figures 9 and 10.
+func RunFig0910RangeScanReadOnly(seed int64, spindleCounts []int, designs []Design) ([]RangeScanResult, error) {
+	return rangeScanMatrix(seed, 0, spindleCounts, designs)
+}
+
+func rangeScanMatrix(seed int64, updates float64, spindleCounts []int, designs []Design) ([]RangeScanResult, error) {
+	if len(spindleCounts) == 0 {
+		spindleCounts = []int{4, 8, 20}
+	}
+	if len(designs) == 0 {
+		designs = AllDesigns
+	}
+	var out []RangeScanResult
+	for _, sp := range spindleCounts {
+		for _, d := range designs {
+			prm := DefaultRangeScanParams()
+			prm.Spindles = sp
+			prm.UpdateFraction = updates
+			r, err := RunRangeScan(seed, d, prm)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, *r)
+		}
+	}
+	return out, nil
+}
+
+// DrilldownResult carries the Figure 11 time series for one design.
+type DrilldownResult struct {
+	Design Design
+	IOBps  metrics.Series // BPExt+data read throughput, bytes/sec
+	CPU    metrics.Series // CPU utilization, percent
+	IOLat  metrics.Series // mean BPExt read latency per window, seconds
+}
+
+// RunFig11Drilldown reproduces Figure 11: per-second I/O throughput, CPU
+// utilization and I/O latency during the read-only RangeScan, for
+// HDD+SSD, SMBDirect+RamDrive and Custom.
+func RunFig11Drilldown(seed int64, dur time.Duration) ([]DrilldownResult, error) {
+	var out []DrilldownResult
+	for _, d := range []Design{DesignHDDSSD, DesignSMBDirect, DesignCustom} {
+		dd := DrilldownResult{Design: d}
+		err := RunInSim(seed, 2*time.Hour, func(p *sim.Proc) error {
+			cfg := DefaultBedConfig(d)
+			bed, err := NewBed(p, cfg)
+			if err != nil {
+				return err
+			}
+			w, err := workload.NewRangeScan(p, bed.Eng, workload.DefaultRangeScan())
+			if err != nil {
+				return err
+			}
+			k := p.Kernel()
+			period := 100 * time.Millisecond
+
+			var lastBytes int64
+			var lastBusy int64
+			bytesNow := func() int64 {
+				ext := bed.Eng.BP.Stats.ExtHits + bed.Eng.BP.Stats.ExtWrites
+				disk := bed.Eng.BP.Stats.DiskReads
+				return (ext + disk) * 8192
+			}
+			ioSampler := workload.NewSampler(k, "io", period, func(at time.Duration) float64 {
+				cur := bytesNow()
+				v := float64(cur-lastBytes) / period.Seconds()
+				lastBytes = cur
+				return v
+			})
+			cpuSampler := workload.NewSampler(k, "cpu", period, func(at time.Duration) float64 {
+				busy := bed.DB.CPUBusyNanos()
+				v := float64(busy-lastBusy) / float64(period) / float64(bed.DB.Cores()) * 100
+				lastBusy = busy
+				return v
+			})
+			w.Run(p, 200*time.Millisecond, dur)
+			ioSampler.Stop()
+			cpuSampler.Stop()
+			dd.IOBps = ioSampler.Series
+			dd.CPU = cpuSampler.Series
+			bed.Close(p)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, dd)
+	}
+	return out, nil
+}
+
+// Fig11Latency reports the mean page-fetch latency from the second tier
+// for the three designs (the scalar behind Figure 11c's separation:
+// ~13 µs for Custom vs ~272 µs for SMBDirect under load).
+type Fig11Latency struct {
+	Design Design
+	Mean   time.Duration
+}
+
+// RunFig11Latency measures the BPExt fetch latency under full workload
+// load by timing Get calls that miss RAM.
+func RunFig11Latency(seed int64, dur time.Duration) ([]Fig11Latency, error) {
+	var out []Fig11Latency
+	for _, d := range []Design{DesignHDDSSD, DesignSMBDirect, DesignCustom} {
+		var mean time.Duration
+		err := RunInSim(seed, 2*time.Hour, func(p *sim.Proc) error {
+			cfg := DefaultBedConfig(d)
+			bed, err := NewBed(p, cfg)
+			if err != nil {
+				return err
+			}
+			w, err := workload.NewRangeScan(p, bed.Eng, workload.DefaultRangeScan())
+			if err != nil {
+				return err
+			}
+			// Run the workload in background, then probe fetch latency
+			// from a side process while the system is loaded.
+			k := p.Kernel()
+			done := sim.NewWaitGroup(k)
+			done.Add(1)
+			k.Go("load", func(lp *sim.Proc) {
+				w.Run(lp, 200*time.Millisecond, dur)
+				done.Done()
+			})
+			p.Sleep(400 * time.Millisecond)
+			hist := metrics.NewHistogram()
+			probeEnd := p.Now() + dur/2
+			rows := int64(w.Cfg.Rows)
+			for p.Now() < probeEnd {
+				start := p.Rand().Int63n(rows - 200)
+				t0 := p.Now()
+				if err := w.QueryOnce(p, start, false); err != nil {
+					return err
+				}
+				// Normalize per page fetched (~3 pages/query).
+				hist.Observe((p.Now() - t0) / 3)
+				p.Sleep(2 * time.Millisecond)
+			}
+			mean = hist.Mean()
+			done.Wait(p)
+			bed.Close(p)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig11Latency{Design: d, Mean: mean})
+	}
+	return out, nil
+}

@@ -1,0 +1,402 @@
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"remotedb/internal/broker"
+	"remotedb/internal/broker/metastore"
+	"remotedb/internal/cluster"
+	"remotedb/internal/core"
+	"remotedb/internal/engine"
+	"remotedb/internal/engine/page"
+	"remotedb/internal/engine/prime"
+	"remotedb/internal/hw/nic"
+	"remotedb/internal/rmem"
+	"remotedb/internal/sim"
+	"remotedb/internal/vfs"
+	"remotedb/internal/workload"
+)
+
+// Fig12Point is one x-position of Figure 12.
+type Fig12Point struct {
+	BPExtBytes int64
+	Servers    int
+	Throughput float64
+	MeanLat    time.Duration
+}
+
+// RunFig12BPExtSize reproduces Figure 12: read-only RangeScan throughput
+// and latency as the BPExt grows, with the remote memory on one server
+// (multi=false) or spread over several (multi=true, one more server per
+// 16 MB as in the paper's 16 GB increments).
+func RunFig12BPExtSize(seed int64, multi bool) ([]Fig12Point, error) {
+	var out []Fig12Point
+	for _, mb := range []int64{32, 64, 96, 128, 144} {
+		ext := mb << 20
+		servers := 1
+		if multi {
+			servers = int(ext / (16 << 20))
+			if servers < 1 {
+				servers = 1
+			}
+		}
+		prm := DefaultRangeScanParams()
+		prm.BPExtBytes = ext
+		prm.RemoteServers = servers
+		prm.Measure = 700 * time.Millisecond
+		r, err := RunRangeScan(seed, DesignCustom, prm)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Fig12Point{
+			BPExtBytes: ext,
+			Servers:    servers,
+			Throughput: r.Throughput,
+			MeanLat:    r.MeanLat,
+		})
+	}
+	return out, nil
+}
+
+// Fig13Result is the remote-server impact experiment.
+type Fig13Result struct {
+	Mode       string // "Default", "RDMA", "TCP"
+	Throughput float64
+	MeanLat    time.Duration
+	P99Lat     time.Duration
+}
+
+// RunFig13RemoteImpact reproduces Figure 13: server SB runs a CPU-bound
+// read-only RangeScan from its own memory while server SA's BPExt
+// traffic lands on SB's spare memory via RDMA or TCP; reported is SB's
+// workload.
+func RunFig13RemoteImpact(seed int64) ([]Fig13Result, error) {
+	var out []Fig13Result
+	for _, mode := range []string{"Default", "RDMA", "TCP"} {
+		mode := mode
+		res := Fig13Result{Mode: mode}
+		err := RunInSim(seed, 2*time.Hour, func(p *sim.Proc) error {
+			k := p.Kernel()
+			// SB: large memory, the whole dataset cached, long scans =>
+			// CPU-bound (the paper sets range=10000 and 128 GB memory).
+			sb := cluster.NewServer(k, "SB", serverConfig(20))
+			sbEng, err := engine.New(p, sb, engine.Files{
+				Data: vfs.NewDeviceFile("data", sb.HDD),
+				Log:  vfs.NewDeviceFile("log", sb.HDD),
+				Temp: vfs.NewDeviceFile("temp", sb.SSD),
+			}, engine.DefaultConfig(16384)) // 128 MB pool
+			if err != nil {
+				return err
+			}
+			sbCfg := workload.DefaultRangeScan()
+			sbCfg.Rows = 100000
+			sbCfg.Range = 10000
+			sbCfg.Clients = 80
+			sbCfg.QueryCPU = 2 * time.Millisecond
+			sbW, err := workload.NewRangeScan(p, sbEng, sbCfg)
+			if err != nil {
+				return err
+			}
+
+			// SA: a DB server whose BPExt lives on SB's memory.
+			if mode != "Default" {
+				store := metastore.New(k, 10*time.Microsecond)
+				b := broker.New(p, store, broker.DefaultConfig())
+				if _, err := b.AddProxy(p, sb, 8<<20, 20); err != nil {
+					return err
+				}
+				sa := cluster.NewServer(k, "SA", serverConfig(20))
+				ccfg := rmem.DefaultClientConfig()
+				proto := nic.ProtoRDMA
+				if mode == "TCP" {
+					proto = nic.ProtoSMB
+					ccfg.Mode = rmem.AccessAsync
+				}
+				client := rmem.NewClient(p, sa, ccfg)
+				fscfg := core.DefaultConfig()
+				fscfg.Protocol = proto
+				fs := core.NewFS(p, b, client, fscfg)
+				f, err := fs.Create(p, "sa-bpext", 128<<20)
+				if err != nil {
+					return err
+				}
+				if err := f.OpenConn(p); err != nil {
+					return err
+				}
+				// SA's BPExt traffic: drive the paper's measured access
+				// rate against SB's memory for the whole run.
+				k.Go("sa-traffic", func(tp *sim.Proc) {
+					wg := sim.NewWaitGroup(k)
+					wg.Add(20)
+					for i := 0; i < 20; i++ {
+						k.Go("sa-io", func(ip *sim.Proc) {
+							defer wg.Done()
+							buf := make([]byte, 8192)
+							for ip.Now() < 3*time.Second {
+								off := ip.Rand().Int63n((128<<20)/8192) * 8192
+								if err := f.ReadAt(ip, buf, off); err != nil {
+									return
+								}
+							}
+						})
+					}
+					wg.Wait(tp)
+				})
+			}
+
+			r := sbW.Run(p, 500*time.Millisecond, 2*time.Second)
+			res.Throughput = r.Throughput()
+			res.MeanLat = r.Latency.Mean()
+			res.P99Lat = r.Latency.P99()
+			sbEng.Shutdown()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Fig16Result carries the priming experiment.
+type Fig16Result struct {
+	BPBytes       int64
+	WarmupTime    time.Duration // time for the workload to warm the pool
+	SerializeTime time.Duration
+	TransferTime  time.Duration
+	PrimeTime     time.Duration // serialize + transfer + install
+	ColdP95       time.Duration // scan p95 starting cold
+	PrimedP95     time.Duration // scan p95 after priming
+	PagesPrimed   int
+}
+
+// RunFig16Priming reproduces Figure 16: the cost of proactively priming
+// a new primary's buffer pool versus warming it through the workload,
+// and the tail-latency effect, for several buffer-pool sizes. Warm-up
+// time is measured as the time for a cold instance's throughput to
+// plateau (two consecutive windows within 5%), the operational notion
+// behind Figure 16a.
+func RunFig16Priming(seed int64, bpSizesMB []int64) ([]Fig16Result, error) {
+	if len(bpSizesMB) == 0 {
+		bpSizesMB = []int64{10, 15, 20, 25}
+	}
+	var out []Fig16Result
+	for _, mb := range bpSizesMB {
+		res := Fig16Result{BPBytes: mb << 20}
+		err := RunInSim(seed, 2*time.Hour, func(p *sim.Proc) error {
+			k := p.Kernel()
+			frames := int((mb << 20) / page.Size)
+			hot := &workload.Hotspot{HotFrac: 0.25, HotAccess: 0.99}
+
+			mkEngine := func(name string) (*cluster.Server, *engine.Engine, error) {
+				s := cluster.NewServer(k, name, serverConfig(20))
+				cfg := engine.DefaultConfig(frames)
+				eng, err := engine.New(p, s, engine.Files{
+					Data: vfs.NewDeviceFile("data", s.HDD),
+					Log:  vfs.NewDeviceFile("log", s.HDD),
+					Temp: vfs.NewDeviceFile("temp", s.SSD),
+				}, cfg)
+				return s, eng, err
+			}
+			wcfg := workload.DefaultRangeScan()
+			wcfg.Rows = 250000 // ~60 MB database (Section 6.5's ~100 GB, scaled)
+			wcfg.Range = 2000
+			wcfg.Clients = 20
+			wcfg.Hotspot = hot
+			wcfg.QueryCPU = 200 * time.Microsecond
+
+			// warmUp drives the workload in windows until throughput
+			// plateaus; returns the elapsed time.
+			warmUp := func(w *workload.RangeScan) time.Duration {
+				start := p.Now()
+				var prev float64
+				stable := 0
+				for p.Now()-start < 45*time.Second {
+					r := w.Run(p, 0, 250*time.Millisecond)
+					thr := r.Throughput()
+					if prev > 0 && thr < prev*1.08 && thr > prev*0.92 {
+						stable++
+						if stable >= 2 {
+							break
+						}
+					} else {
+						stable = 0
+					}
+					prev = thr
+				}
+				return p.Now() - start
+			}
+
+			// S1: the old primary. Warm it through the workload and
+			// record how long that takes (Figure 16a's "workload" bar).
+			s1, eng1, err := mkEngine("S1")
+			if err != nil {
+				return err
+			}
+			w1, err := workload.NewRangeScan(p, eng1, wcfg)
+			if err != nil {
+				return err
+			}
+			res.WarmupTime = warmUp(w1)
+
+			// S2: a cold new primary (its pool holds the table tail from
+			// loading, useless for the hotspot). Measure cold tail latency.
+			_, eng2, err := mkEngine("S2")
+			if err != nil {
+				return err
+			}
+			w2, err := workload.NewRangeScan(p, eng2, wcfg)
+			if err != nil {
+				return err
+			}
+			// Tail latency during the warm-up phase (the paper measures
+			// the cold scan latencies while the pool warms, Figure 16b).
+			cold := w2.Run(p, 0, 150*time.Millisecond)
+			res.ColdP95 = cold.Latency.P95()
+
+			// S3: a cold instance primed from S1 over RDMA.
+			s3, eng3, err := mkEngine("S3")
+			if err != nil {
+				return err
+			}
+			w3, err := workload.NewRangeScan(p, eng3, wcfg)
+			if err != nil {
+				return err
+			}
+			st, err := prime.Prime(p, s1, s3, eng1.BP, eng3.BP)
+			if err != nil {
+				return err
+			}
+			res.SerializeTime = st.SerializeTime
+			res.TransferTime = st.TransferTime
+			res.PrimeTime = st.Total()
+			res.PagesPrimed = st.Pages
+			primed := w3.Run(p, 0, 150*time.Millisecond)
+			res.PrimedP95 = primed.Latency.P95()
+			eng1.Shutdown()
+			eng2.Shutdown()
+			eng3.Shutdown()
+			_ = s3
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Fig24Point is one x-position of Figure 24 (local-memory sweep).
+type Fig24Point struct {
+	LocalMemBytes int64
+	Design        Design
+	Throughput    float64
+	MeanLat       time.Duration
+}
+
+// RunFig24LocalMemorySweep reproduces Figure 24: Custom vs HDD+SSD as
+// local memory grows from 16 MB to 128 MB (paper: GB).
+func RunFig24LocalMemorySweep(seed int64) ([]Fig24Point, error) {
+	var out []Fig24Point
+	for _, mb := range []int64{16, 32, 64, 96, 128} {
+		for _, d := range []Design{DesignHDDSSD, DesignCustom} {
+			prm := DefaultRangeScanParams()
+			prm.LocalMemBytes = mb << 20
+			prm.Measure = 700 * time.Millisecond
+			r, err := RunRangeScan(seed, d, prm)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, Fig24Point{
+				LocalMemBytes: mb << 20,
+				Design:        d,
+				Throughput:    r.Throughput,
+				MeanLat:       r.MeanLat,
+			})
+		}
+	}
+	return out, nil
+}
+
+// Fig25Point is one x-position of Figure 25.
+type Fig25Point struct {
+	DBServers  int
+	Throughput float64 // aggregate queries/sec
+	MeanLat    time.Duration
+}
+
+// RunFig25MultiDBRangeScan reproduces Figure 25: 1..8 database servers
+// each running RangeScan with its BPExt on one shared memory server.
+func RunFig25MultiDBRangeScan(seed int64) ([]Fig25Point, error) {
+	var out []Fig25Point
+	for _, n := range []int{1, 2, 4, 8} {
+		pt := Fig25Point{DBServers: n}
+		err := RunInSim(seed, 2*time.Hour, func(p *sim.Proc) error {
+			k := p.Kernel()
+			store := metastore.New(k, 10*time.Microsecond)
+			b := broker.New(p, store, broker.DefaultConfig())
+			mem := cluster.NewServer(k, "mem1", serverConfig(20))
+			// 8 DBs x 30 MB each (the paper's smaller database).
+			if _, err := b.AddProxy(p, mem, 8<<20, 40); err != nil {
+				return err
+			}
+			var agg int64
+			var latSum time.Duration
+			var latN int64
+			wg := sim.NewWaitGroup(k)
+			wg.Add(n)
+			for i := 0; i < n; i++ {
+				db := cluster.NewServer(k, fmt.Sprintf("db%d", i+1), serverConfig(20))
+				client := rmem.NewClient(p, db, rmem.DefaultClientConfig())
+				fs := core.NewFS(p, b, client, core.DefaultConfig())
+				ext, err := fs.Create(p, fmt.Sprintf("bpext-%d", i), 30<<20)
+				if err != nil {
+					return err
+				}
+				if err := ext.OpenConn(p); err != nil {
+					return err
+				}
+				cfg := engine.DefaultConfig(896) // ~7 MB local
+				cfg.BPExtSlots = int((30 << 20) / page.Size)
+				eng, err := engine.New(p, db, engine.Files{
+					Data:  vfs.NewDeviceFile("data", db.HDD),
+					Log:   vfs.NewDeviceFile("log", db.HDD),
+					Temp:  vfs.NewDeviceFile("temp", db.SSD),
+					BPExt: ext,
+				}, cfg)
+				if err != nil {
+					return err
+				}
+				wcfg := workload.DefaultRangeScan()
+				wcfg.Rows = 125000
+				wcfg.Clients = 40
+				w, err := workload.NewRangeScan(p, eng, wcfg)
+				if err != nil {
+					return err
+				}
+				k.Go("dbrun", func(dp *sim.Proc) {
+					defer wg.Done()
+					r := w.Run(dp, 300*time.Millisecond, time.Second)
+					agg += r.Queries
+					latSum += time.Duration(r.Latency.Mean().Nanoseconds() * r.Queries)
+					latN += r.Queries
+					eng.Shutdown()
+				})
+			}
+			wg.Wait(p)
+			pt.Throughput = float64(agg) / 1.0
+			if latN > 0 {
+				pt.MeanLat = latSum / time.Duration(latN)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}

@@ -1,0 +1,22 @@
+package exp
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRangeScanSmoke checks one Custom run lands in the paper's
+// ballpark: tens of thousands of queries/sec, sub-10ms latency.
+func TestRangeScanSmoke(t *testing.T) {
+	prm := DefaultRangeScanParams()
+	prm.Measure = 500 * time.Millisecond
+	r, err := RunRangeScan(1, DesignCustom, prm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("custom: %.0f q/s mean=%v p95=%v extHits=%d diskReads=%d",
+		r.Throughput, r.MeanLat, r.P95Lat, r.ExtHits, r.DiskReads)
+	if r.Throughput < 20000 {
+		t.Errorf("custom throughput = %.0f, want >20K", r.Throughput)
+	}
+}

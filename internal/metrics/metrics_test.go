@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Min() != time.Microsecond {
+		t.Fatalf("min = %v", h.Min())
+	}
+	if h.Max() != 100*time.Microsecond {
+		t.Fatalf("max = %v", h.Max())
+	}
+	mean := h.Mean()
+	if mean < 49*time.Microsecond || mean > 52*time.Microsecond {
+		t.Fatalf("mean = %v, want ~50.5µs", mean)
+	}
+}
+
+func TestHistogramQuantileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 100000; i++ {
+		h.Observe(time.Duration(rng.Intn(1000000)) * time.Nanosecond)
+	}
+	// Uniform [0,1ms): p50 ~ 500µs, p99 ~ 990µs; allow 15% bucket error.
+	p50 := h.P50().Seconds()
+	if p50 < 425e-6 || p50 > 575e-6 {
+		t.Fatalf("p50 = %v", h.P50())
+	}
+	p99 := h.P99().Seconds()
+	if p99 < 850e-6 || p99 > 1100e-6 {
+		t.Fatalf("p99 = %v", h.P99())
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Observe(time.Millisecond)
+	b.Observe(3 * time.Millisecond)
+	a.Merge(b)
+	if a.Count() != 2 {
+		t.Fatalf("count = %d", a.Count())
+	}
+	if a.Max() != 3*time.Millisecond || a.Min() != time.Millisecond {
+		t.Fatalf("min/max = %v/%v", a.Min(), a.Max())
+	}
+	if a.Mean() != 2*time.Millisecond {
+		t.Fatalf("mean = %v", a.Mean())
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(time.Second)
+	h.Reset()
+	if h.Count() != 0 || h.Max() != 0 {
+		t.Fatal("reset did not clear histogram")
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-time.Second)
+	if h.Min() != 0 {
+		t.Fatalf("negative observation not clamped: %v", h.Min())
+	}
+}
+
+// Property: quantile is monotone in q and bounded by min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(vals []uint32) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		h := NewHistogram()
+		for _, v := range vals {
+			h.Observe(time.Duration(v))
+		}
+		prev := time.Duration(-1)
+		for _, q := range []float64{0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1} {
+			cur := h.Quantile(q)
+			if cur < prev {
+				return false
+			}
+			if cur < h.Min() || cur > h.Max() {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merge preserves count and sum.
+func TestMergePreservesSumProperty(t *testing.T) {
+	f := func(xs, ys []uint16) bool {
+		a, b := NewHistogram(), NewHistogram()
+		var want int64
+		for _, x := range xs {
+			a.Observe(time.Duration(x))
+			want += int64(x)
+		}
+		for _, y := range ys {
+			b.Observe(time.Duration(y))
+			want += int64(y)
+		}
+		a.Merge(b)
+		return a.Count() == int64(len(xs)+len(ys)) && int64(a.Sum()) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCounterRates(t *testing.T) {
+	var c Counter
+	c.Add(10, 8192*10)
+	if got := c.Rate(time.Second); got != 10 {
+		t.Fatalf("rate = %v", got)
+	}
+	if got := c.ByteRate(2 * time.Second); got != 8192*5 {
+		t.Fatalf("byte rate = %v", got)
+	}
+	if c.Rate(0) != 0 {
+		t.Fatal("zero elapsed should give zero rate")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	if s.Last() != 0 || s.Mean() != 0 {
+		t.Fatal("empty series should report zeros")
+	}
+	s.Add(time.Second, 1)
+	s.Add(2*time.Second, 3)
+	if s.Last() != 3 {
+		t.Fatalf("last = %v", s.Last())
+	}
+	if s.Mean() != 2 {
+		t.Fatalf("mean = %v", s.Mean())
+	}
+}

@@ -1,0 +1,451 @@
+// Package rmem implements the remote-memory substrate of the paper
+// (Section 4): pinned, NIC-registered memory regions (MRs) on servers
+// with spare memory, per-scheduler preregistered staging buffers on the
+// database server, and the three transfer protocols of Table 5 — NDSPI
+// RDMA verbs ("Custom"), SMB Direct, and SMB over TCP.
+//
+// MRs hold real bytes (ordinary Go slices); transports copy those bytes
+// while charging calibrated virtual time to the simulation, including the
+// remote server's CPU for the TCP path — the quantity behind Figure 13.
+package rmem
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"remotedb/internal/cluster"
+	"remotedb/internal/hw/nic"
+	"remotedb/internal/sim"
+)
+
+// MRID names a memory region uniquely within the cluster.
+type MRID struct {
+	Server string
+	Index  int
+}
+
+func (id MRID) String() string { return fmt.Sprintf("%s/mr%d", id.Server, id.Index) }
+
+// MR is one pinned memory region on a memory server.
+type MR struct {
+	ID    MRID
+	Owner *cluster.Server
+	buf   []byte
+
+	registered bool
+	leased     bool
+	revoked    bool // owner failed or reclaimed the region
+}
+
+// Size returns the region size in bytes.
+func (mr *MR) Size() int { return len(mr.buf) }
+
+// Leased reports whether the region is currently leased out.
+func (mr *MR) Leased() bool { return mr.leased }
+
+// Revoked reports whether the region's memory has been reclaimed (owner
+// failure or pressure); accesses to a revoked MR fail.
+func (mr *MR) Revoked() bool { return mr.revoked }
+
+// ErrRevoked is returned when accessing an MR whose memory is gone.
+var ErrRevoked = errors.New("rmem: memory region revoked")
+
+// Pool is the memory-server side of the brokering proxy: it pins free
+// memory into fixed-size MRs, preregisters them with the NIC, and hands
+// them out. Deregistration under memory pressure unpins regions back to
+// the OS.
+type Pool struct {
+	server *cluster.Server
+	mrSize int
+	mrs    []*MR
+	free   []*MR
+	nextID int
+}
+
+// NewPool pins count MRs of mrSize bytes each on server, charging the
+// NIC registration cost for each region to proc p (preregistration
+// happens once, at startup — the design choice of Section 4.1.4).
+func NewPool(p *sim.Proc, server *cluster.Server, mrSize, count int) (*Pool, error) {
+	if mrSize <= 0 || count < 0 {
+		return nil, errors.New("rmem: invalid pool geometry")
+	}
+	pool := &Pool{server: server, mrSize: mrSize}
+	if err := pool.Grow(p, count); err != nil {
+		return nil, err
+	}
+	return pool, nil
+}
+
+// Grow pins and registers count additional MRs.
+func (pool *Pool) Grow(p *sim.Proc, count int) error {
+	for i := 0; i < count; i++ {
+		if err := pool.server.PinBrokered(int64(pool.mrSize)); err != nil {
+			return err
+		}
+		mr := &MR{
+			ID:         MRID{Server: pool.server.Name, Index: pool.nextID},
+			Owner:      pool.server,
+			buf:        make([]byte, pool.mrSize),
+			registered: true,
+		}
+		pool.nextID++
+		// Registration pins pages and programs the NIC page table; it
+		// costs CPU on the owning server.
+		pool.server.Work(p, nic.RegisterCost(pool.mrSize))
+		pool.mrs = append(pool.mrs, mr)
+		pool.free = append(pool.free, mr)
+	}
+	return nil
+}
+
+// MRSize returns the fixed region size.
+func (pool *Pool) MRSize() int { return pool.mrSize }
+
+// FreeCount returns the number of unleased regions.
+func (pool *Pool) FreeCount() int { return len(pool.free) }
+
+// TotalCount returns the number of pinned regions.
+func (pool *Pool) TotalCount() int { return len(pool.mrs) }
+
+// Acquire leases out one free MR.
+func (pool *Pool) Acquire() (*MR, error) {
+	if len(pool.free) == 0 {
+		return nil, errors.New("rmem: pool exhausted on " + pool.server.Name)
+	}
+	mr := pool.free[0]
+	pool.free = pool.free[1:]
+	mr.leased = true
+	return mr, nil
+}
+
+// ReleaseMR returns a leased MR to the free list (its contents are not
+// cleared; leases are exclusive so the next tenant overwrites).
+func (pool *Pool) ReleaseMR(mr *MR) {
+	if mr.revoked {
+		return
+	}
+	mr.leased = false
+	pool.free = append(pool.free, mr)
+}
+
+// Shrink unpins up to n bytes of free MRs (memory-pressure response) and
+// returns the number of bytes actually released.
+func (pool *Pool) Shrink(n int64) int64 {
+	var released int64
+	for released < n && len(pool.free) > 0 {
+		mr := pool.free[len(pool.free)-1]
+		pool.free = pool.free[:len(pool.free)-1]
+		pool.removeMR(mr)
+		released += int64(pool.mrSize)
+	}
+	return released
+}
+
+// RevokeAll simulates failure of the memory server: every MR (leased or
+// not) becomes unavailable and the memory is unpinned.
+func (pool *Pool) RevokeAll() {
+	for _, mr := range pool.mrs {
+		if !mr.revoked {
+			mr.revoked = true
+			mr.buf = nil
+			pool.server.UnpinBrokered(int64(pool.mrSize))
+		}
+	}
+	pool.mrs = nil
+	pool.free = nil
+}
+
+func (pool *Pool) removeMR(target *MR) {
+	target.revoked = true
+	target.buf = nil
+	pool.server.UnpinBrokered(int64(pool.mrSize))
+	for i, mr := range pool.mrs {
+		if mr == target {
+			pool.mrs = append(pool.mrs[:i], pool.mrs[i+1:]...)
+			break
+		}
+	}
+}
+
+// AccessMode selects how the client treats remote-memory completions
+// (Section 4.1.3).
+type AccessMode int
+
+const (
+	// AccessSync spins on the completion queue holding the core — the
+	// paper's choice for Custom.
+	AccessSync AccessMode = iota
+	// AccessAsync yields the thread and pays a context switch when the
+	// completion is processed — how unmodified SQL Server treats I/O.
+	AccessAsync
+	// AccessAdaptive spins up to SyncSpinThreshold and falls back to the
+	// asynchronous path for longer transfers — the adaptive strategy the
+	// paper leaves as future work (Section 4.1.3), implemented here.
+	AccessAdaptive
+)
+
+// RegistrationMode selects client-side MR registration strategy
+// (Section 4.1.4).
+type RegistrationMode int
+
+const (
+	// RegStaging copies pages through preregistered per-scheduler staging
+	// buffers (memcpy ≈ 2 µs per 8 K page) — the paper's choice.
+	RegStaging RegistrationMode = iota
+	// RegOnDemand registers the source/destination buffer for every
+	// transfer (≈ 50 µs per 8 K page) — the rejected alternative, kept
+	// for the ablation benchmark.
+	RegOnDemand
+)
+
+// Client is the database-server side of the remote-memory plumbing: it
+// owns the per-scheduler staging buffers and issues transfers.
+type Client struct {
+	Server *cluster.Server
+	Mode   AccessMode
+	Reg    RegistrationMode
+
+	staging *sim.Resource // pending-transfer slots across all schedulers
+	crypt   *cryptor      // nil unless encryption is enabled
+
+	Reads, Writes       int64
+	BytesRead, BytesWrt int64
+}
+
+// ClientConfig parameterizes a client.
+type ClientConfig struct {
+	Mode         AccessMode
+	Reg          RegistrationMode
+	Schedulers   int // CPU schedulers issuing I/O (paper: one staging MR each)
+	SlotsPerSch  int // pending RDMA transfers per scheduler (paper: 128)
+	StagingBytes int // staging MR size per scheduler (paper: 1 MiB)
+
+	// Encrypt enables AES-CTR encryption of every payload with Key, so
+	// donor servers only ever hold ciphertext — the security measure the
+	// paper's Section 7 calls for. Costs EncryptBytesPerSec of client CPU.
+	Encrypt bool
+	Key     [16]byte
+}
+
+// DefaultClientConfig mirrors Section 4.2.
+func DefaultClientConfig() ClientConfig {
+	return ClientConfig{
+		Mode:        AccessSync,
+		Reg:         RegStaging,
+		Schedulers:  8,
+		SlotsPerSch: 128,
+	}
+}
+
+// NewClient creates a client on the database server, charging the one-time
+// registration of its staging buffers.
+func NewClient(p *sim.Proc, server *cluster.Server, cfg ClientConfig) *Client {
+	if cfg.Schedulers <= 0 {
+		cfg.Schedulers = 8
+	}
+	if cfg.SlotsPerSch <= 0 {
+		cfg.SlotsPerSch = 128
+	}
+	if cfg.StagingBytes <= 0 {
+		cfg.StagingBytes = 1 << 20
+	}
+	c := &Client{
+		Server:  server,
+		Mode:    cfg.Mode,
+		Reg:     cfg.Reg,
+		staging: sim.NewResource(server.K, server.Name+"/staging", cfg.Schedulers*cfg.SlotsPerSch),
+	}
+	if cfg.Encrypt {
+		c.crypt = newCryptor(cfg.Key)
+	}
+	for i := 0; i < cfg.Schedulers; i++ {
+		server.Work(p, nic.RegisterCost(cfg.StagingBytes))
+	}
+	return c
+}
+
+// Transport moves bytes between a client server and an MR, charging
+// protocol-specific costs.
+type Transport interface {
+	// Read copies len(dst) bytes from mr at off into dst.
+	Read(p *sim.Proc, c *Client, mr *MR, off int, dst []byte) error
+	// Write copies src into mr at off.
+	Write(p *sim.Proc, c *Client, mr *MR, off int, src []byte) error
+	// Protocol identifies the underlying protocol.
+	Protocol() nic.Protocol
+}
+
+// NewTransport returns the transport for a protocol.
+func NewTransport(proto nic.Protocol) Transport {
+	switch proto {
+	case nic.ProtoRDMA:
+		return &rdmaTransport{}
+	case nic.ProtoSMBDirect, nic.ProtoSMB:
+		return &smbTransport{proto: proto, profile: nic.ProfileFor(proto)}
+	}
+	panic("rmem: unknown protocol")
+}
+
+func checkRange(mr *MR, off, n int) error {
+	if mr.revoked {
+		return ErrRevoked
+	}
+	if off < 0 || n < 0 || off+n > len(mr.buf) {
+		return fmt.Errorf("rmem: access [%d,%d) outside MR of %d bytes", off, off+n, len(mr.buf))
+	}
+	return nil
+}
+
+// rdmaTransport is the paper's Custom design: one-sided RDMA verbs, no
+// remote CPU, staging memcpy, synchronous spin by default.
+type rdmaTransport struct{}
+
+func (t *rdmaTransport) Protocol() nic.Protocol { return nic.ProtoRDMA }
+
+func (t *rdmaTransport) xfer(p *sim.Proc, c *Client, mr *MR, off int, buf []byte, write bool) error {
+	if err := checkRange(mr, off, len(buf)); err != nil {
+		return err
+	}
+	prof := nic.ProfileFor(nic.ProtoRDMA)
+	c.staging.Acquire(p, 1)
+	do := func() {
+		p.Sleep(prof.ClientPost)
+		if c.Reg == RegOnDemand {
+			// Register the caller's buffer for this one transfer.
+			p.Sleep(nic.RegisterCost(len(buf)))
+		} else {
+			// Copy through the preregistered staging buffer.
+			p.Sleep(nic.MemcpyCost(len(buf)))
+		}
+		if write {
+			nic.Wire(p, c.Server.NIC, mr.Owner.NIC, len(buf))
+		} else {
+			nic.Wire(p, mr.Owner.NIC, c.Server.NIC, len(buf))
+		}
+	}
+	switch c.Mode {
+	case AccessSync:
+		// Spin: the issuing thread burns its core for the duration.
+		c.Server.Exec(p, do)
+	case AccessAdaptive:
+		// Predict the transfer time from size and current queue depth;
+		// spin for short transfers, yield for long ones. The prediction
+		// uses the wire rate only — a real implementation would sample
+		// completion times, but the decision boundary is the same.
+		est := time.Duration(float64(len(buf))/c.Server.NIC.Config().PayloadBytesPerSec*1e9) +
+			c.Server.NIC.Config().BaseLatency
+		if est <= SyncSpinThreshold {
+			c.Server.Exec(p, do)
+		} else {
+			do()
+			c.Server.Reschedule(p)
+		}
+	default:
+		do()
+		c.Server.Reschedule(p)
+	}
+	// The MR may have been revoked while we were in flight.
+	if mr.revoked {
+		c.staging.Release(1)
+		return ErrRevoked
+	}
+	c.moveBytes(p, mr, off, buf, write)
+	c.staging.Release(1)
+	return nil
+}
+
+// moveBytes performs the actual byte movement between the caller's
+// buffer and the MR, transparently encrypting so the donor only holds
+// ciphertext when the client has encryption enabled.
+func (c *Client) moveBytes(p *sim.Proc, mr *MR, off int, buf []byte, write bool) {
+	if write {
+		if c.crypt != nil {
+			c.Server.Work(p, encryptCost(len(buf)))
+			enc := append([]byte(nil), buf...)
+			c.crypt.xcrypt(mr.ID, off, enc)
+			copy(mr.buf[off:off+len(enc)], enc)
+		} else {
+			copy(mr.buf[off:off+len(buf)], buf)
+		}
+		c.Writes++
+		c.BytesWrt += int64(len(buf))
+		return
+	}
+	copy(buf, mr.buf[off:off+len(buf)])
+	if c.crypt != nil {
+		c.Server.Work(p, encryptCost(len(buf)))
+		c.crypt.xcrypt(mr.ID, off, buf)
+	}
+	c.Reads++
+	c.BytesRead += int64(len(buf))
+}
+
+func (t *rdmaTransport) Read(p *sim.Proc, c *Client, mr *MR, off int, dst []byte) error {
+	return t.xfer(p, c, mr, off, dst, false)
+}
+
+func (t *rdmaTransport) Write(p *sim.Proc, c *Client, mr *MR, off int, src []byte) error {
+	return t.xfer(p, c, mr, off, src, true)
+}
+
+// smbTransport models the two RamDrive designs: the remote file server
+// processes each request (occupying a worker slot and remote CPU), the
+// payload crosses the fabric (RDMA for SMB Direct, TCP for SMB), and the
+// client completes the I/O asynchronously.
+type smbTransport struct {
+	proto   nic.Protocol
+	profile nic.Profile
+}
+
+func (t *smbTransport) Protocol() nic.Protocol { return t.proto }
+
+func (t *smbTransport) xfer(p *sim.Proc, c *Client, mr *MR, off int, buf []byte, write bool) error {
+	if err := checkRange(mr, off, len(buf)); err != nil {
+		return err
+	}
+	prof := t.profile
+	// Client-side issue cost (system call, SMB client stack).
+	c.Server.Work(p, prof.ClientPost)
+	// Remote file-server stage: a worker slot plus remote CPU time; the
+	// non-CPU remainder is RamDrive/DMA service.
+	fs := mr.Owner.FileServer()
+	fs.Acquire(p, 1)
+	mr.Owner.Work(p, prof.ServerCPUCharge)
+	if rest := prof.ServerService - prof.ServerCPUCharge; rest > 0 {
+		p.Sleep(rest)
+	}
+	fs.Release(1)
+	// Payload on the wire.
+	src, dst := mr.Owner.NIC, c.Server.NIC
+	if write {
+		src, dst = c.Server.NIC, mr.Owner.NIC
+	}
+	if prof.TCPPath {
+		nic.WireTCP(p, src, dst, len(buf))
+	} else {
+		nic.Wire(p, src, dst, len(buf))
+	}
+	// Asynchronous completion on the client.
+	if prof.AsyncCompletion {
+		c.Server.Reschedule(p)
+	}
+	if mr.revoked {
+		return ErrRevoked
+	}
+	c.moveBytes(p, mr, off, buf, write)
+	return nil
+}
+
+func (t *smbTransport) Read(p *sim.Proc, c *Client, mr *MR, off int, dst []byte) error {
+	return t.xfer(p, c, mr, off, dst, false)
+}
+
+func (t *smbTransport) Write(p *sim.Proc, c *Client, mr *MR, off int, src []byte) error {
+	return t.xfer(p, c, mr, off, src, true)
+}
+
+// SyncSpinThreshold is the point past which a production implementation
+// would fall back to async completion (future work in the paper); the
+// sync transport exposes it for the adaptive-mode extension.
+const SyncSpinThreshold = 50 * time.Microsecond

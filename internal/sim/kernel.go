@@ -1,0 +1,213 @@
+// Package sim implements a deterministic discrete-event simulation kernel.
+//
+// Processes are ordinary goroutines, but the kernel runs exactly one of
+// them at a time: a process executes until it blocks on a kernel primitive
+// (Sleep, Resource.Acquire, Cond.Wait, ...), at which point control is
+// handed back to the kernel, which pops the next event off a virtual-time
+// heap. Events at equal times are ordered by a monotonically increasing
+// sequence number, so a simulation with a fixed RNG seed is bit-for-bit
+// reproducible. No wall-clock time is consulted anywhere.
+//
+// The kernel is the substrate for every hardware and software model in
+// this repository: disks, NICs, CPU schedulers, the memory broker, and
+// the database engine all advance on the same virtual clock.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Kernel owns the virtual clock and the event queue.
+type Kernel struct {
+	now    int64 // virtual time in nanoseconds
+	eq     eventHeap
+	seq    int64
+	park   chan parkMsg // processes signal the kernel here when they block or exit
+	nprocs int          // live (not yet exited) processes
+	rng    *rand.Rand
+	halted bool
+}
+
+type parkMsg struct {
+	exited bool
+}
+
+type event struct {
+	at  int64
+	seq int64
+	p   *Proc // process to resume; nil events are not used
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// New returns a kernel whose RNG is seeded with seed.
+func New(seed int64) *Kernel {
+	return &Kernel{
+		park: make(chan parkMsg),
+		rng:  rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time as a duration since simulation start.
+func (k *Kernel) Now() time.Duration { return time.Duration(k.now) }
+
+// NowNanos returns the current virtual time in nanoseconds.
+func (k *Kernel) NowNanos() int64 { return k.now }
+
+// Rand returns the kernel's deterministic random source. It must only be
+// used from within simulation processes (which run one at a time).
+func (k *Kernel) Rand() *rand.Rand { return k.rng }
+
+// Proc is a simulation process. All blocking methods must be called from
+// the goroutine running the process.
+type Proc struct {
+	k      *Kernel
+	name   string
+	resume chan struct{}
+}
+
+// Name returns the name the process was spawned with.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the kernel this process runs on.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() time.Duration { return p.k.Now() }
+
+// Rand returns the kernel RNG.
+func (p *Proc) Rand() *rand.Rand { return p.k.rng }
+
+// Go spawns a new process that starts at the current virtual time.
+// It may be called before Run or from within a running process.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.nprocs++
+	k.schedule(k.now, p)
+	go func() {
+		// The deferred park keeps the kernel alive even if fn bails out
+		// via runtime.Goexit (e.g. t.Fatal inside a simulation process).
+		defer func() { k.park <- parkMsg{exited: true} }()
+		<-p.resume // wait for the kernel to start us
+		fn(p)
+	}()
+	return p
+}
+
+// GoAt spawns a process that starts at virtual time at (>= now).
+func (k *Kernel) GoAt(at time.Duration, name string, fn func(p *Proc)) *Proc {
+	p := &Proc{k: k, name: name, resume: make(chan struct{})}
+	k.nprocs++
+	t := int64(at)
+	if t < k.now {
+		t = k.now
+	}
+	k.schedule(t, p)
+	go func() {
+		defer func() { k.park <- parkMsg{exited: true} }()
+		<-p.resume
+		fn(p)
+	}()
+	return p
+}
+
+// schedule enqueues a wakeup for p at virtual time t.
+func (k *Kernel) schedule(t int64, p *Proc) {
+	k.seq++
+	heap.Push(&k.eq, &event{at: t, seq: k.seq, p: p})
+}
+
+// After schedules fn to run at now+d on the kernel's own turn (no process
+// context). fn must not block on simulation primitives.
+func (k *Kernel) After(d time.Duration, fn func()) {
+	k.seq++
+	heap.Push(&k.eq, &event{at: k.now + int64(d), seq: k.seq, fn: fn})
+}
+
+// Run drives the simulation until no events remain, until all processes
+// have exited, or until virtual time would exceed limit (0 = no limit).
+func (k *Kernel) Run(limit time.Duration) {
+	lim := int64(limit)
+	for k.eq.Len() > 0 {
+		ev := heap.Pop(&k.eq).(*event)
+		if lim > 0 && ev.at > lim {
+			k.now = lim
+			k.halted = true
+			return
+		}
+		if ev.at > k.now {
+			k.now = ev.at
+		}
+		if ev.fn != nil {
+			ev.fn()
+			continue
+		}
+		ev.p.resume <- struct{}{}
+		msg := <-k.park
+		if msg.exited {
+			k.nprocs--
+		}
+	}
+}
+
+// Halted reports whether the last Run stopped due to the time limit.
+func (k *Kernel) Halted() bool { return k.halted }
+
+// blockHere parks the calling process; it returns when the kernel resumes
+// it. The caller must already have arranged for a wakeup (scheduled event
+// or registration with a waking primitive), otherwise the process leaks.
+func (p *Proc) blockHere() {
+	p.k.park <- parkMsg{}
+	<-p.resume
+}
+
+// Sleep suspends the process for d of virtual time. Negative or zero
+// durations still yield through the event queue, preserving determinism.
+func (p *Proc) Sleep(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.k.schedule(p.k.now+int64(d), p)
+	p.blockHere()
+}
+
+// SleepUntil suspends the process until virtual time t (no-op if in the past).
+func (p *Proc) SleepUntil(t time.Duration) {
+	tt := int64(t)
+	if tt < p.k.now {
+		tt = p.k.now
+	}
+	p.k.schedule(tt, p)
+	p.blockHere()
+}
+
+// Yield reschedules the process at the current time, letting other
+// runnable processes (with earlier sequence numbers) run first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// wake schedules p to resume at the current virtual time.
+func (k *Kernel) wake(p *Proc) { k.schedule(k.now, p) }
+
+func (p *Proc) String() string { return fmt.Sprintf("proc(%s)", p.name) }

@@ -1,0 +1,233 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	k := New(1)
+	var woke time.Duration
+	k.Go("sleeper", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		woke = p.Now()
+	})
+	k.Run(0)
+	if woke != 5*time.Millisecond {
+		t.Fatalf("woke at %v, want 5ms", woke)
+	}
+	if k.Now() != 5*time.Millisecond {
+		t.Fatalf("kernel now = %v, want 5ms", k.Now())
+	}
+}
+
+func TestEventOrdering(t *testing.T) {
+	k := New(1)
+	var order []string
+	k.Go("a", func(p *Proc) {
+		p.Sleep(2 * time.Microsecond)
+		order = append(order, "a")
+	})
+	k.Go("b", func(p *Proc) {
+		p.Sleep(1 * time.Microsecond)
+		order = append(order, "b")
+	})
+	k.Go("c", func(p *Proc) {
+		p.Sleep(2 * time.Microsecond) // same time as a; spawned later, runs later
+		order = append(order, "c")
+	})
+	k.Run(0)
+	want := []string{"b", "a", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []int64 {
+		k := New(42)
+		var trace []int64
+		for i := 0; i < 10; i++ {
+			k.Go("p", func(p *Proc) {
+				for j := 0; j < 5; j++ {
+					p.Sleep(time.Duration(p.Rand().Intn(1000)) * time.Microsecond)
+					trace = append(trace, p.k.now)
+				}
+			})
+		}
+		k.Run(0)
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	k := New(1)
+	ticks := 0
+	k.Go("ticker", func(p *Proc) {
+		for {
+			p.Sleep(time.Millisecond)
+			ticks++
+		}
+	})
+	k.Run(10 * time.Millisecond)
+	if !k.Halted() {
+		t.Fatal("kernel should report halted at limit")
+	}
+	if ticks != 10 {
+		t.Fatalf("ticks = %d, want 10", ticks)
+	}
+	if k.Now() != 10*time.Millisecond {
+		t.Fatalf("now = %v, want 10ms", k.Now())
+	}
+}
+
+func TestGoAt(t *testing.T) {
+	k := New(1)
+	var started time.Duration
+	k.GoAt(7*time.Millisecond, "late", func(p *Proc) { started = p.Now() })
+	k.Run(0)
+	if started != 7*time.Millisecond {
+		t.Fatalf("started at %v, want 7ms", started)
+	}
+}
+
+func TestAfterCallback(t *testing.T) {
+	k := New(1)
+	fired := time.Duration(-1)
+	k.After(3*time.Millisecond, func() { fired = k.Now() })
+	k.Go("idle", func(p *Proc) { p.Sleep(10 * time.Millisecond) })
+	k.Run(0)
+	if fired != 3*time.Millisecond {
+		t.Fatalf("After fired at %v, want 3ms", fired)
+	}
+}
+
+func TestSpawnFromProcess(t *testing.T) {
+	k := New(1)
+	var childRan bool
+	k.Go("parent", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		k.Go("child", func(c *Proc) {
+			c.Sleep(time.Millisecond)
+			childRan = true
+		})
+		p.Sleep(5 * time.Millisecond)
+	})
+	k.Run(0)
+	if !childRan {
+		t.Fatal("child process never ran")
+	}
+}
+
+func TestResourceFIFO(t *testing.T) {
+	k := New(1)
+	r := NewResource(k, "disk", 1)
+	var order []string
+	hold := func(name string, delay, svc time.Duration) {
+		k.Go(name, func(p *Proc) {
+			p.Sleep(delay)
+			r.Acquire(p, 1)
+			order = append(order, name)
+			p.Sleep(svc)
+			r.Release(1)
+		})
+	}
+	hold("first", 0, 10*time.Millisecond)
+	hold("second", 1*time.Millisecond, time.Millisecond)
+	hold("third", 2*time.Millisecond, time.Millisecond)
+	k.Run(0)
+	want := []string{"first", "second", "third"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestResourceCountedGrant(t *testing.T) {
+	k := New(1)
+	r := NewResource(k, "mem", 4)
+	var got []time.Duration
+	k.Go("big", func(p *Proc) {
+		r.Acquire(p, 4)
+		p.Sleep(10 * time.Millisecond)
+		r.Release(4)
+	})
+	k.Go("small", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		r.Acquire(p, 2)
+		got = append(got, p.Now())
+		r.Release(2)
+	})
+	k.Run(0)
+	if len(got) != 1 || got[0] != 10*time.Millisecond {
+		t.Fatalf("small acquired at %v, want [10ms]", got)
+	}
+}
+
+func TestResourceStrictFIFONoJump(t *testing.T) {
+	// A later small request must not overtake an earlier large one.
+	k := New(1)
+	r := NewResource(k, "r", 2)
+	var order []string
+	k.Go("holder", func(p *Proc) {
+		r.Acquire(p, 1)
+		p.Sleep(10 * time.Millisecond)
+		r.Release(1)
+	})
+	k.Go("large", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		r.Acquire(p, 2) // needs holder to release
+		order = append(order, "large")
+		r.Release(2)
+	})
+	k.Go("small", func(p *Proc) {
+		p.Sleep(2 * time.Millisecond)
+		r.Acquire(p, 1) // one unit IS free, but large is queued ahead
+		order = append(order, "small")
+		r.Release(1)
+	})
+	k.Run(0)
+	if order[0] != "large" || order[1] != "small" {
+		t.Fatalf("order = %v, want [large small]", order)
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	k := New(1)
+	r := NewResource(k, "u", 2)
+	k.Go("w", func(p *Proc) {
+		r.Use(p, 1, 10*time.Millisecond) // 1 of 2 units for 10 of 20ms => 0.25
+		p.Sleep(10 * time.Millisecond)
+	})
+	k.Run(0)
+	if u := r.Utilization(); u < 0.24 || u > 0.26 {
+		t.Fatalf("utilization = %v, want ~0.25", u)
+	}
+}
+
+func TestTryAcquire(t *testing.T) {
+	k := New(1)
+	r := NewResource(k, "t", 1)
+	k.Go("p", func(p *Proc) {
+		if !r.TryAcquire(1) {
+			t.Error("TryAcquire should succeed on free resource")
+		}
+		if r.TryAcquire(1) {
+			t.Error("TryAcquire should fail on exhausted resource")
+		}
+		r.Release(1)
+	})
+	k.Run(0)
+}

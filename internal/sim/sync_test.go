@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCondSignalWakesOldest(t *testing.T) {
+	k := New(1)
+	c := NewCond(k)
+	var order []string
+	waiter := func(name string, delay time.Duration) {
+		k.Go(name, func(p *Proc) {
+			p.Sleep(delay)
+			c.Wait(p)
+			order = append(order, name)
+		})
+	}
+	waiter("a", 0)
+	waiter("b", time.Millisecond)
+	k.Go("signaller", func(p *Proc) {
+		p.Sleep(5 * time.Millisecond)
+		c.Signal()
+		p.Sleep(time.Millisecond)
+		c.Signal()
+	})
+	k.Run(0)
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("order = %v, want [a b]", order)
+	}
+}
+
+func TestCondBroadcast(t *testing.T) {
+	k := New(1)
+	c := NewCond(k)
+	woke := 0
+	for i := 0; i < 5; i++ {
+		k.Go("w", func(p *Proc) {
+			c.Wait(p)
+			woke++
+		})
+	}
+	k.Go("b", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		c.Broadcast()
+	})
+	k.Run(0)
+	if woke != 5 {
+		t.Fatalf("woke = %d, want 5", woke)
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	k := New(1)
+	wg := NewWaitGroup(k)
+	wg.Add(3)
+	var doneAt time.Duration
+	for i := 1; i <= 3; i++ {
+		d := time.Duration(i) * time.Millisecond
+		k.Go("worker", func(p *Proc) {
+			p.Sleep(d)
+			wg.Done()
+		})
+	}
+	k.Go("waiter", func(p *Proc) {
+		wg.Wait(p)
+		doneAt = p.Now()
+	})
+	k.Run(0)
+	if doneAt != 3*time.Millisecond {
+		t.Fatalf("waiter resumed at %v, want 3ms", doneAt)
+	}
+}
+
+func TestWaitGroupAlreadyZero(t *testing.T) {
+	k := New(1)
+	wg := NewWaitGroup(k)
+	ran := false
+	k.Go("w", func(p *Proc) {
+		wg.Wait(p) // should not block
+		ran = true
+	})
+	k.Run(0)
+	if !ran {
+		t.Fatal("Wait on zero counter blocked")
+	}
+}
+
+func TestChanFIFO(t *testing.T) {
+	k := New(1)
+	ch := NewChan[int](k)
+	var got []int
+	k.Go("recv", func(p *Proc) {
+		for {
+			v, ok := ch.Recv(p)
+			if !ok {
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	k.Go("send", func(p *Proc) {
+		for i := 1; i <= 4; i++ {
+			p.Sleep(time.Millisecond)
+			ch.Send(i)
+		}
+		ch.Close()
+	})
+	k.Run(0)
+	if len(got) != 4 {
+		t.Fatalf("got %v, want 4 items", got)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("got %v, want [1 2 3 4]", got)
+		}
+	}
+}
+
+func TestChanCloseUnblocksReceivers(t *testing.T) {
+	k := New(1)
+	ch := NewChan[string](k)
+	unblocked := 0
+	for i := 0; i < 3; i++ {
+		k.Go("r", func(p *Proc) {
+			_, ok := ch.Recv(p)
+			if !ok {
+				unblocked++
+			}
+		})
+	}
+	k.Go("closer", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		ch.Close()
+	})
+	k.Run(0)
+	if unblocked != 3 {
+		t.Fatalf("unblocked = %d, want 3", unblocked)
+	}
+}
+
+func TestRegulatorSerialization(t *testing.T) {
+	k := New(1)
+	rg := NewRegulator(k, "nic", 1e9) // 1 GB/s
+	var ends []time.Duration
+	for i := 0; i < 3; i++ {
+		k.Go("xfer", func(p *Proc) {
+			rg.Transfer(p, 1e6) // 1 MB => 1 ms each
+			ends = append(ends, p.Now())
+		})
+	}
+	k.Run(0)
+	want := []time.Duration{1 * time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+}
+
+func TestRegulatorIdleGap(t *testing.T) {
+	k := New(1)
+	rg := NewRegulator(k, "nic", 1e9)
+	var end time.Duration
+	k.Go("late", func(p *Proc) {
+		p.Sleep(10 * time.Millisecond) // regulator idle until now
+		rg.Transfer(p, 1e6)
+		end = p.Now()
+	})
+	k.Run(0)
+	if end != 11*time.Millisecond {
+		t.Fatalf("end = %v, want 11ms", end)
+	}
+}
+
+func TestRegulatorReserveAfter(t *testing.T) {
+	k := New(1)
+	rg := NewRegulator(k, "nic", 1e9)
+	var end time.Duration
+	k.Go("p", func(p *Proc) {
+		done := rg.ReserveAfter(5*time.Millisecond, 1e6)
+		p.SleepUntil(done)
+		end = p.Now()
+	})
+	k.Run(0)
+	if end != 6*time.Millisecond {
+		t.Fatalf("end = %v, want 6ms", end)
+	}
+}
+
+func TestRegulatorBytesMoved(t *testing.T) {
+	k := New(1)
+	rg := NewRegulator(k, "nic", 1e9)
+	k.Go("p", func(p *Proc) {
+		rg.Transfer(p, 1000)
+		rg.Transfer(p, 2000)
+	})
+	k.Run(0)
+	if rg.BytesMoved() != 3000 {
+		t.Fatalf("bytes = %d, want 3000", rg.BytesMoved())
+	}
+}

@@ -1,0 +1,156 @@
+package vfs
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"remotedb/internal/hw/disk"
+	"remotedb/internal/sim"
+)
+
+func TestMemFileRoundTrip(t *testing.T) {
+	k := sim.New(1)
+	k.Go("t", func(p *sim.Proc) {
+		f := NewMemFile("m")
+		data := bytes.Repeat([]byte{7}, 100000)
+		if err := f.WriteAt(p, data, 12345); err != nil {
+			t.Error(err)
+		}
+		got := make([]byte, 100000)
+		if err := f.ReadAt(p, got, 12345); err != nil {
+			t.Error(err)
+		}
+		if !bytes.Equal(data, got) {
+			t.Error("round trip corrupted")
+		}
+		if f.Size() != 12345+100000 {
+			t.Errorf("size = %d", f.Size())
+		}
+	})
+	k.Run(0)
+	if k.Now() != 0 {
+		t.Fatalf("MemFile charged time: %v", k.Now())
+	}
+}
+
+func TestMemFileReadsZerosFromHoles(t *testing.T) {
+	k := sim.New(1)
+	k.Go("t", func(p *sim.Proc) {
+		f := NewMemFile("m")
+		f.WriteAt(p, []byte{1}, 1<<20) // sparse write far out
+		got := make([]byte, 16)
+		got[3] = 0xFF
+		f.ReadAt(p, got, 0)
+		for i, b := range got {
+			if b != 0 {
+				t.Errorf("hole byte %d = %d, want 0", i, b)
+			}
+		}
+	})
+	k.Run(0)
+}
+
+func TestClosedFileRejected(t *testing.T) {
+	k := sim.New(1)
+	k.Go("t", func(p *sim.Proc) {
+		f := NewMemFile("m")
+		f.Close(p)
+		if err := f.ReadAt(p, make([]byte, 1), 0); err != ErrClosed {
+			t.Errorf("read after close: %v", err)
+		}
+		if err := f.WriteAt(p, []byte{1}, 0); err != ErrClosed {
+			t.Errorf("write after close: %v", err)
+		}
+	})
+	k.Run(0)
+}
+
+func TestNegativeOffsetRejected(t *testing.T) {
+	k := sim.New(1)
+	k.Go("t", func(p *sim.Proc) {
+		f := NewMemFile("m")
+		if err := f.ReadAt(p, make([]byte, 1), -1); err == nil {
+			t.Error("negative read offset accepted")
+		}
+		if err := f.WriteAt(p, []byte{1}, -5); err == nil {
+			t.Error("negative write offset accepted")
+		}
+	})
+	k.Run(0)
+}
+
+func TestDeviceFileChargesTime(t *testing.T) {
+	k := sim.New(1)
+	ssd := disk.NewSSD(k, "ssd", disk.DefaultSSDConfig())
+	var elapsed time.Duration
+	k.Go("t", func(p *sim.Proc) {
+		f := NewDeviceFile("d", ssd)
+		data := make([]byte, 8192)
+		f.WriteAt(p, data, 0)
+		f.ReadAt(p, data, 0)
+		elapsed = p.Now()
+	})
+	k.Run(0)
+	if elapsed <= 0 {
+		t.Fatal("device file should charge time")
+	}
+	if ssd.Reads != 1 || ssd.Writes != 1 {
+		t.Fatalf("device counters %d/%d", ssd.Reads, ssd.Writes)
+	}
+}
+
+func TestDeviceFilePreservesData(t *testing.T) {
+	k := sim.New(1)
+	hdd := disk.NewHDDArray(k, "hdd", disk.DefaultHDDArrayConfig(4))
+	k.Go("t", func(p *sim.Proc) {
+		f := NewDeviceFile("d", hdd)
+		data := []byte("hello raid zero")
+		f.WriteAt(p, data, 777777)
+		got := make([]byte, len(data))
+		f.ReadAt(p, got, 777777)
+		if !bytes.Equal(data, got) {
+			t.Error("data corrupted on device file")
+		}
+	})
+	k.Run(0)
+}
+
+// Property: any sequence of writes followed by reads behaves like a flat
+// byte array.
+func TestSparseMatchesFlatProperty(t *testing.T) {
+	type op struct {
+		Off  uint32
+		Data []byte
+	}
+	f := func(ops []op) bool {
+		s := newSparse()
+		flat := make([]byte, 1<<20)
+		for _, o := range ops {
+			off := int64(o.Off % (1 << 19))
+			if len(o.Data) > 4096 {
+				o.Data = o.Data[:4096]
+			}
+			s.writeAt(o.Data, off)
+			copy(flat[off:], o.Data)
+		}
+		got := make([]byte, 1<<19)
+		s.readAt(got, 0)
+		return bytes.Equal(got, flat[:1<<19])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseCrossChunkBoundary(t *testing.T) {
+	s := newSparse()
+	data := bytes.Repeat([]byte{0xCD}, 3*chunkSize)
+	s.writeAt(data, chunkSize/2)
+	got := make([]byte, len(data))
+	s.readAt(got, chunkSize/2)
+	if !bytes.Equal(data, got) {
+		t.Fatal("cross-chunk round trip corrupted")
+	}
+}

@@ -1,0 +1,125 @@
+package workload
+
+import (
+	"time"
+
+	"remotedb/internal/engine"
+	"remotedb/internal/engine/catalog"
+	"remotedb/internal/engine/exec"
+	"remotedb/internal/engine/row"
+	"remotedb/internal/sim"
+)
+
+// HashSortConfig is the paper's Hash+Sort micro-benchmark (Section
+// 5.2.2): lineitem ⋈ orders on orderkey, top 100,000 by extendedprice.
+// The join's hash table and the top-N sort both exceed the memory grant
+// and spill to TempDB; TempDB placement is the experiment.
+type HashSortConfig struct {
+	Orders   int // orders rows (paper SF200: 300M; scaled: 150K)
+	Lineitem int // lineitem rows (~4 per order)
+	TopN     int // paper: 100,000
+}
+
+// DefaultHashSort mirrors Table 4's Hash+Sort row.
+func DefaultHashSort() HashSortConfig {
+	return HashSortConfig{Orders: 300000, Lineitem: 1200000, TopN: 100000}
+}
+
+func ordersSchema() *row.Schema {
+	return row.NewSchema(
+		row.Column{Name: "orderkey", Type: row.Int64},
+		row.Column{Name: "custkey", Type: row.Int64},
+		row.Column{Name: "orderstatus", Type: row.String},
+		row.Column{Name: "totalprice", Type: row.Float64},
+		row.Column{Name: "orderdate", Type: row.Int64},
+	)
+}
+
+func lineitemSchema() *row.Schema {
+	return row.NewSchema(
+		row.Column{Name: "orderkey", Type: row.Int64},
+		row.Column{Name: "linenumber", Type: row.Int64},
+		row.Column{Name: "partkey", Type: row.Int64},
+		row.Column{Name: "quantity", Type: row.Float64},
+		row.Column{Name: "extendedprice", Type: row.Float64},
+		row.Column{Name: "discount", Type: row.Float64},
+		row.Column{Name: "shipdate", Type: row.Int64},
+	)
+}
+
+// HashSort holds the loaded tables.
+type HashSort struct {
+	Cfg      HashSortConfig
+	Eng      *engine.Engine
+	Orders   *catalog.Table
+	Lineitem *catalog.Table
+}
+
+// NewHashSort loads the two tables, clustered on their order keys.
+func NewHashSort(p *sim.Proc, eng *engine.Engine, cfg HashSortConfig) (*HashSort, error) {
+	orders, err := eng.Catalog.CreateTable(p, "orders", ordersSchema(), "orderkey")
+	if err != nil {
+		return nil, err
+	}
+	lineitem, err := eng.Catalog.CreateTable(p, "lineitem", lineitemSchema(), "orderkey", "linenumber")
+	if err != nil {
+		return nil, err
+	}
+	otuples := make([]row.Tuple, cfg.Orders)
+	for i := range otuples {
+		otuples[i] = row.Tuple{
+			int64(i), int64(i % 15000), "O",
+			float64((i*7919)%100000) / 10, int64(19920101 + i%2400),
+		}
+	}
+	if err := orders.BulkLoad(p, otuples); err != nil {
+		return nil, err
+	}
+	perOrder := cfg.Lineitem / cfg.Orders
+	if perOrder < 1 {
+		perOrder = 1
+	}
+	ltuples := make([]row.Tuple, 0, cfg.Lineitem)
+	for i := 0; len(ltuples) < cfg.Lineitem; i++ {
+		for l := 0; l < perOrder && len(ltuples) < cfg.Lineitem; l++ {
+			n := len(ltuples)
+			ltuples = append(ltuples, row.Tuple{
+				int64(i % cfg.Orders), int64(l), int64(n % 20000),
+				float64(n%50 + 1), float64((n*104729)%1000000) / 100,
+				float64(n%10) / 100, int64(19920101 + n%2400),
+			})
+		}
+	}
+	if err := lineitem.BulkLoad(p, ltuples); err != nil {
+		return nil, err
+	}
+	if err := eng.BP.FlushAll(p); err != nil {
+		return nil, err
+	}
+	return &HashSort{Cfg: cfg, Eng: eng, Orders: orders, Lineitem: lineitem}, nil
+}
+
+// Plan builds the paper's execution plan (Figure 2): hash join with the
+// orders side as build input, then Top N Sort on extendedprice.
+func (w *HashSort) Plan() exec.Op {
+	join := &exec.HashJoin{
+		Build:     &exec.TableScan{Table: w.Orders},
+		Probe:     &exec.TableScan{Table: w.Lineitem},
+		BuildCols: []string{"orderkey"},
+		ProbeCols: []string{"orderkey"},
+	}
+	return &exec.TopN{
+		In:    join,
+		Specs: []exec.SortSpec{{Col: "extendedprice"}},
+		N:     w.Cfg.TopN,
+	}
+}
+
+// Run executes the query once and returns its latency plus whether the
+// join and sort spilled.
+func (w *HashSort) Run(p *sim.Proc) (time.Duration, *exec.Ctx, error) {
+	ctx := w.Eng.NewCtx(p)
+	start := p.Now()
+	_, err := exec.Run(ctx, w.Plan())
+	return p.Now() - start, ctx, err
+}

@@ -1,0 +1,78 @@
+package workload
+
+import (
+	"time"
+
+	"remotedb/internal/metrics"
+	"remotedb/internal/sim"
+	"remotedb/internal/vfs"
+)
+
+// SQLIOConfig mirrors the paper's use of the SQLIO disk benchmark
+// (Section 6.1): 20 threads of 8 KiB random reads, or 5 threads of
+// 512 KiB sequential reads.
+type SQLIOConfig struct {
+	Threads  int
+	IOSize   int
+	Span     int64 // addressable bytes
+	Random   bool
+	Duration time.Duration
+}
+
+// RandomRead8K is the paper's random-read configuration.
+func RandomRead8K(span int64) SQLIOConfig {
+	return SQLIOConfig{Threads: 20, IOSize: 8192, Span: span, Random: true, Duration: 2 * time.Second}
+}
+
+// SequentialRead512K is the paper's sequential-read configuration.
+func SequentialRead512K(span int64) SQLIOConfig {
+	return SQLIOConfig{Threads: 5, IOSize: 512 << 10, Span: span, Random: false, Duration: 2 * time.Second}
+}
+
+// SQLIOResult reports achieved bandwidth and latency.
+type SQLIOResult struct {
+	BytesPerSec float64
+	Latency     *metrics.Histogram
+	IOs         int64
+}
+
+// RunSQLIO drives the pattern against any vfs.File and blocks until the
+// duration elapses.
+func RunSQLIO(p *sim.Proc, file vfs.File, cfg SQLIOConfig) *SQLIOResult {
+	k := p.Kernel()
+	res := &SQLIOResult{Latency: metrics.NewHistogram()}
+	var bytes int64
+	end := p.Now() + cfg.Duration
+	wg := sim.NewWaitGroup(k)
+	wg.Add(cfg.Threads)
+	region := cfg.Span / int64(cfg.Threads)
+	for i := 0; i < cfg.Threads; i++ {
+		base := int64(i) * region
+		k.Go("sqlio", func(wp *sim.Proc) {
+			defer wg.Done()
+			buf := make([]byte, cfg.IOSize)
+			off := base
+			for wp.Now() < end {
+				if cfg.Random {
+					off = wp.Rand().Int63n(cfg.Span/int64(cfg.IOSize)) * int64(cfg.IOSize)
+				}
+				t0 := wp.Now()
+				if err := file.ReadAt(wp, buf, off); err != nil {
+					return
+				}
+				res.Latency.Observe(wp.Now() - t0)
+				res.IOs++
+				bytes += int64(cfg.IOSize)
+				if !cfg.Random {
+					off += int64(cfg.IOSize)
+					if off+int64(cfg.IOSize) > base+region {
+						off = base
+					}
+				}
+			}
+		})
+	}
+	wg.Wait(p)
+	res.BytesPerSec = float64(bytes) / cfg.Duration.Seconds()
+	return res
+}

@@ -1,0 +1,431 @@
+// Package tpcc implements the TPC-C stand-in for Figures 22 and 23: the
+// nine-table schema in miniature and the five transaction types, driven
+// under the default mix (write-heavy, small ever-moving working set) and
+// the paper's read-mostly variant (90% StockLevel) whose larger working
+// set actually benefits from remote memory. Scaled per DESIGN.md §2:
+// the paper's 800 warehouses become 8.
+package tpcc
+
+import (
+	"fmt"
+	"time"
+
+	"remotedb/internal/engine"
+	"remotedb/internal/engine/catalog"
+	"remotedb/internal/engine/row"
+	"remotedb/internal/engine/txn"
+	"remotedb/internal/sim"
+)
+
+// Config sizes the database and drive.
+type Config struct {
+	Warehouses   int
+	DistrictsPer int
+	CustomersPer int // per district
+	Items        int
+	Clients      int
+	ReadMostly   bool // 90% StockLevel mix
+	// HistoryWindow bounds how far back StockLevel reads (orders per
+	// district), sizing the read-mostly working set.
+	HistoryWindow int
+
+	// TxnCPU is the fixed per-transaction CPU overhead.
+	TxnCPU time.Duration
+}
+
+// DefaultConfig scales the paper's 800-warehouse setup to 8.
+func DefaultConfig() Config {
+	return Config{
+		Warehouses:    8,
+		DistrictsPer:  10,
+		CustomersPer:  300,
+		Items:         10000,
+		Clients:       200,
+		HistoryWindow: 800,
+		TxnCPU:        300 * time.Microsecond,
+	}
+}
+
+// DB holds the loaded tables and the workload state.
+type DB struct {
+	Cfg Config
+	Eng *engine.Engine
+
+	Warehouse, District, Customer, Item, Stock *catalog.Table
+	Orders, OrderLine, NewOrder                *catalog.Table
+
+	nextOrder []int64 // per (w,d) order id allocator
+	nextDeliv []int64 // per (w,d) next order to deliver
+}
+
+func mix(i, salt int) int {
+	x := uint64(i)*2654435761 + uint64(salt)*65213
+	x ^= x >> 13
+	x *= 1099511628211
+	x ^= x >> 31
+	return int(x & 0x7FFFFFFF)
+}
+
+// Load builds the database.
+func Load(p *sim.Proc, eng *engine.Engine, cfg Config) (*DB, error) {
+	db := &DB{Cfg: cfg, Eng: eng}
+	cat := eng.Catalog
+	var err error
+
+	if db.Warehouse, err = cat.CreateTable(p, "warehouse", row.NewSchema(
+		row.Column{Name: "w_id", Type: row.Int64},
+		row.Column{Name: "w_ytd", Type: row.Float64},
+	), "w_id"); err != nil {
+		return nil, err
+	}
+	var rows []row.Tuple
+	for w := 0; w < cfg.Warehouses; w++ {
+		rows = append(rows, row.Tuple{int64(w), 0.0})
+	}
+	if err := db.Warehouse.BulkLoad(p, rows); err != nil {
+		return nil, err
+	}
+
+	if db.District, err = cat.CreateTable(p, "district", row.NewSchema(
+		row.Column{Name: "d_w_id", Type: row.Int64},
+		row.Column{Name: "d_id", Type: row.Int64},
+		row.Column{Name: "d_ytd", Type: row.Float64},
+		row.Column{Name: "d_next_o_id", Type: row.Int64},
+	), "d_w_id", "d_id"); err != nil {
+		return nil, err
+	}
+	rows = rows[:0]
+	for w := 0; w < cfg.Warehouses; w++ {
+		for d := 0; d < cfg.DistrictsPer; d++ {
+			rows = append(rows, row.Tuple{int64(w), int64(d), 0.0, int64(3000)})
+		}
+	}
+	if err := db.District.BulkLoad(p, rows); err != nil {
+		return nil, err
+	}
+
+	if db.Customer, err = cat.CreateTable(p, "customer", row.NewSchema(
+		row.Column{Name: "c_w_id", Type: row.Int64},
+		row.Column{Name: "c_d_id", Type: row.Int64},
+		row.Column{Name: "c_id", Type: row.Int64},
+		row.Column{Name: "c_balance", Type: row.Float64},
+		row.Column{Name: "c_ytd", Type: row.Float64},
+		row.Column{Name: "c_data", Type: row.String},
+	), "c_w_id", "c_d_id", "c_id"); err != nil {
+		return nil, err
+	}
+	pad := make([]byte, 180)
+	for i := range pad {
+		pad[i] = 'c'
+	}
+	rows = rows[:0]
+	for w := 0; w < cfg.Warehouses; w++ {
+		for d := 0; d < cfg.DistrictsPer; d++ {
+			for c := 0; c < cfg.CustomersPer; c++ {
+				rows = append(rows, row.Tuple{int64(w), int64(d), int64(c), -10.0, 10.0, string(pad)})
+			}
+		}
+	}
+	if err := db.Customer.BulkLoad(p, rows); err != nil {
+		return nil, err
+	}
+
+	if db.Item, err = cat.CreateTable(p, "item", row.NewSchema(
+		row.Column{Name: "i_id", Type: row.Int64},
+		row.Column{Name: "i_price", Type: row.Float64},
+		row.Column{Name: "i_name", Type: row.String},
+	), "i_id"); err != nil {
+		return nil, err
+	}
+	rows = rows[:0]
+	for i := 0; i < cfg.Items; i++ {
+		rows = append(rows, row.Tuple{int64(i), float64(mix(i, 1)%9900+100) / 100, fmt.Sprintf("item-%d", i)})
+	}
+	if err := db.Item.BulkLoad(p, rows); err != nil {
+		return nil, err
+	}
+
+	if db.Stock, err = cat.CreateTable(p, "stock", row.NewSchema(
+		row.Column{Name: "s_w_id", Type: row.Int64},
+		row.Column{Name: "s_i_id", Type: row.Int64},
+		row.Column{Name: "s_quantity", Type: row.Int64},
+		row.Column{Name: "s_ytd", Type: row.Float64},
+		row.Column{Name: "s_data", Type: row.String},
+	), "s_w_id", "s_i_id"); err != nil {
+		return nil, err
+	}
+	spad := make([]byte, 60)
+	for i := range spad {
+		spad[i] = 's'
+	}
+	rows = rows[:0]
+	for w := 0; w < cfg.Warehouses; w++ {
+		for i := 0; i < cfg.Items; i++ {
+			rows = append(rows, row.Tuple{int64(w), int64(i), int64(mix(w*cfg.Items+i, 2)%91 + 10), 0.0, string(spad)})
+		}
+	}
+	if err := db.Stock.BulkLoad(p, rows); err != nil {
+		return nil, err
+	}
+
+	if db.Orders, err = cat.CreateTable(p, "orders", row.NewSchema(
+		row.Column{Name: "o_w_id", Type: row.Int64},
+		row.Column{Name: "o_d_id", Type: row.Int64},
+		row.Column{Name: "o_id", Type: row.Int64},
+		row.Column{Name: "o_c_id", Type: row.Int64},
+		row.Column{Name: "o_carrier", Type: row.Int64},
+	), "o_w_id", "o_d_id", "o_id"); err != nil {
+		return nil, err
+	}
+	if db.OrderLine, err = cat.CreateTable(p, "order_line", row.NewSchema(
+		row.Column{Name: "ol_w_id", Type: row.Int64},
+		row.Column{Name: "ol_d_id", Type: row.Int64},
+		row.Column{Name: "ol_o_id", Type: row.Int64},
+		row.Column{Name: "ol_number", Type: row.Int64},
+		row.Column{Name: "ol_i_id", Type: row.Int64},
+		row.Column{Name: "ol_amount", Type: row.Float64},
+	), "ol_w_id", "ol_d_id", "ol_o_id", "ol_number"); err != nil {
+		return nil, err
+	}
+	if db.NewOrder, err = cat.CreateTable(p, "new_order", row.NewSchema(
+		row.Column{Name: "no_w_id", Type: row.Int64},
+		row.Column{Name: "no_d_id", Type: row.Int64},
+		row.Column{Name: "no_o_id", Type: row.Int64},
+	), "no_w_id", "no_d_id", "no_o_id"); err != nil {
+		return nil, err
+	}
+	// Seed history: 3000 orders per district with 10 lines each.
+	var orows, olrows, norows []row.Tuple
+	for w := 0; w < cfg.Warehouses; w++ {
+		for d := 0; d < cfg.DistrictsPer; d++ {
+			for o := 0; o < 3000; o++ {
+				i := (w*cfg.DistrictsPer+d)*3000 + o
+				orows = append(orows, row.Tuple{int64(w), int64(d), int64(o), int64(mix(i, 3) % cfg.CustomersPer), int64(mix(i, 4) % 10)})
+				for l := 0; l < 10; l++ {
+					olrows = append(olrows, row.Tuple{
+						int64(w), int64(d), int64(o), int64(l),
+						int64(mix(i*10+l, 5) % cfg.Items), float64(mix(i*10+l, 6)%10000) / 100,
+					})
+				}
+				if o >= 2900 {
+					norows = append(norows, row.Tuple{int64(w), int64(d), int64(o)})
+				}
+			}
+		}
+	}
+	if err := db.Orders.BulkLoad(p, orows); err != nil {
+		return nil, err
+	}
+	if err := db.OrderLine.BulkLoad(p, olrows); err != nil {
+		return nil, err
+	}
+	if err := db.NewOrder.BulkLoad(p, norows); err != nil {
+		return nil, err
+	}
+	n := cfg.Warehouses * cfg.DistrictsPer
+	db.nextOrder = make([]int64, n)
+	db.nextDeliv = make([]int64, n)
+	for i := range db.nextOrder {
+		db.nextOrder[i] = 3000
+		db.nextDeliv[i] = 2900
+	}
+	return db, nil
+}
+
+func (db *DB) wd(w, d int64) int { return int(w)*db.Cfg.DistrictsPer + int(d) }
+
+// --- Transactions ---------------------------------------------------------
+
+// NewOrderTxn inserts an order with 10 lines, updating stock.
+func (db *DB) NewOrderTxn(p *sim.Proc, w, d, c int64) error {
+	db.Eng.Server.Work(p, db.Cfg.TxnCPU)
+	slot := db.wd(w, d)
+	o := db.nextOrder[slot]
+	db.nextOrder[slot]++
+	if err := db.Orders.Insert(p, row.Tuple{w, d, o, c, int64(-1)}); err != nil {
+		return err
+	}
+	if err := db.NewOrder.Insert(p, row.Tuple{w, d, o}); err != nil {
+		return err
+	}
+	var lsn uint64
+	for l := 0; l < 10; l++ {
+		item := int64(p.Rand().Intn(db.Cfg.Items))
+		st, err := db.Stock.Get(p, w, item)
+		if err != nil {
+			return err
+		}
+		st[2] = st[2].(int64) - 1
+		if st[2].(int64) < 10 {
+			st[2] = st[2].(int64) + 91
+		}
+		if err := db.Stock.Update(p, st); err != nil {
+			return err
+		}
+		amount := float64(p.Rand().Intn(10000)) / 100
+		if err := db.OrderLine.Insert(p, row.Tuple{w, d, o, int64(l), item, amount}); err != nil {
+			return err
+		}
+		lsn = db.Eng.Log.Append(txn.RecUpdate, []byte("neworder-line"))
+	}
+	lsn = db.Eng.Log.Append(txn.RecCommit, nil)
+	_ = lsn
+	return db.Eng.Log.Commit(p, lsn)
+}
+
+// PaymentTxn updates warehouse, district and customer balances.
+func (db *DB) PaymentTxn(p *sim.Proc, w, d, c int64) error {
+	db.Eng.Server.Work(p, db.Cfg.TxnCPU)
+	amount := float64(p.Rand().Intn(500000)) / 100
+	wh, err := db.Warehouse.Get(p, w)
+	if err != nil {
+		return err
+	}
+	wh[1] = wh[1].(float64) + amount
+	if err := db.Warehouse.Update(p, wh); err != nil {
+		return err
+	}
+	di, err := db.District.Get(p, w, d)
+	if err != nil {
+		return err
+	}
+	di[2] = di[2].(float64) + amount
+	if err := db.District.Update(p, di); err != nil {
+		return err
+	}
+	cu, err := db.Customer.Get(p, w, d, c)
+	if err != nil {
+		return err
+	}
+	cu[3] = cu[3].(float64) - amount
+	cu[4] = cu[4].(float64) + amount
+	if err := db.Customer.Update(p, cu); err != nil {
+		return err
+	}
+	lsn := db.Eng.Log.Append(txn.RecCommit, []byte("payment"))
+	return db.Eng.Log.Commit(p, lsn)
+}
+
+// OrderStatusTxn reads a customer's most recent order and its lines.
+func (db *DB) OrderStatusTxn(p *sim.Proc, w, d, c int64) error {
+	db.Eng.Server.Work(p, db.Cfg.TxnCPU)
+	slot := db.wd(w, d)
+	o := db.nextOrder[slot] - 1 - int64(p.Rand().Intn(100))
+	if o < 0 {
+		o = 0
+	}
+	if _, err := db.Orders.Get(p, w, d, o); err != nil && err != catalog.ErrNotFound {
+		return err
+	}
+	from := row.EncodeKey(nil, w, d, o)
+	to := row.EncodeKey(nil, w, d, o+1)
+	_, err := db.OrderLine.ScanRange(p, from, to, 0)
+	return err
+}
+
+// DeliveryTxn delivers the oldest undelivered order in each district of
+// a warehouse.
+func (db *DB) DeliveryTxn(p *sim.Proc, w int64) error {
+	db.Eng.Server.Work(p, db.Cfg.TxnCPU)
+	for d := int64(0); d < int64(db.Cfg.DistrictsPer); d++ {
+		slot := db.wd(w, d)
+		o := db.nextDeliv[slot]
+		if o >= db.nextOrder[slot] {
+			continue
+		}
+		db.nextDeliv[slot]++
+		if err := db.NewOrder.Delete(p, w, d, o); err != nil && err != catalog.ErrNotFound {
+			return err
+		}
+		ord, err := db.Orders.Get(p, w, d, o)
+		if err == catalog.ErrNotFound {
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		ord[4] = int64(p.Rand().Intn(10))
+		if err := db.Orders.Update(p, ord); err != nil {
+			return err
+		}
+	}
+	lsn := db.Eng.Log.Append(txn.RecCommit, []byte("delivery"))
+	return db.Eng.Log.Commit(p, lsn)
+}
+
+// StockLevelTxn counts low-stock items among the last 20 orders of a
+// district — the read-heavy transaction whose working set spans old data.
+func (db *DB) StockLevelTxn(p *sim.Proc, w, d int64) error {
+	db.Eng.Server.Work(p, db.Cfg.TxnCPU)
+	slot := db.wd(w, d)
+	hi := db.nextOrder[slot]
+	lo := hi - 20
+	if lo < 0 {
+		lo = 0
+	}
+	// Bias toward older orders too: StockLevel in the read-mostly mix
+	// reads back into history, giving the workload the larger working
+	// set the paper describes — bounded by HistoryWindow so it exceeds
+	// local memory but remains cacheable in the BPExt.
+	if p.Rand().Intn(2) == 0 {
+		span := int64(db.Cfg.HistoryWindow)
+		if span > hi-20 {
+			span = hi - 20
+		}
+		if span > 0 {
+			lo = hi - 20 - p.Rand().Int63n(span)
+			hi = lo + 20
+		}
+	}
+	from := row.EncodeKey(nil, w, d, lo)
+	to := row.EncodeKey(nil, w, d, hi)
+	lines, err := db.OrderLine.ScanRange(p, from, to, 0)
+	if err != nil {
+		return err
+	}
+	low := 0
+	for _, ln := range lines {
+		st, err := db.Stock.Get(p, w, ln[4].(int64))
+		if err != nil {
+			return err
+		}
+		if st[2].(int64) < 15 {
+			low++
+		}
+	}
+	return nil
+}
+
+// RunOne executes one transaction drawn from the configured mix.
+func (db *DB) RunOne(p *sim.Proc) error {
+	w := int64(p.Rand().Intn(db.Cfg.Warehouses))
+	d := int64(p.Rand().Intn(db.Cfg.DistrictsPer))
+	c := int64(p.Rand().Intn(db.Cfg.CustomersPer))
+	roll := p.Rand().Intn(100)
+	if db.Cfg.ReadMostly {
+		// 90% StockLevel; the rest split across the write mix.
+		switch {
+		case roll < 90:
+			return db.StockLevelTxn(p, w, d)
+		case roll < 95:
+			return db.NewOrderTxn(p, w, d, c)
+		case roll < 98:
+			return db.PaymentTxn(p, w, d, c)
+		default:
+			return db.OrderStatusTxn(p, w, d, c)
+		}
+	}
+	// Default mix: 45/43/4/4/4.
+	switch {
+	case roll < 45:
+		return db.NewOrderTxn(p, w, d, c)
+	case roll < 88:
+		return db.PaymentTxn(p, w, d, c)
+	case roll < 92:
+		return db.OrderStatusTxn(p, w, d, c)
+	case roll < 96:
+		return db.DeliveryTxn(p, w)
+	default:
+		return db.StockLevelTxn(p, w, d)
+	}
+}

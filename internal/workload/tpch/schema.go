@@ -1,0 +1,272 @@
+// Package tpch implements the TPC-H stand-in used by Figures 15, 18 and
+// 19: the eight-table schema in miniature, a deterministic data
+// generator with the benchmark's cardinality ratios, and hand-built
+// physical plans for the 22 queries. Plans are simplified (no correlated
+// subquery machinery; EXISTS/IN rewritten as joins or aggregate filters)
+// but keep each query's shape: which tables are scanned, which joins can
+// spill, what is aggregated and sorted. Per DESIGN.md §2 the scale
+// factor is ~1000x below the paper's SF200, preserving the paper's
+// memory:data pressure ratios via the experiment configs.
+package tpch
+
+import (
+	"fmt"
+
+	"remotedb/internal/engine"
+	"remotedb/internal/engine/catalog"
+	"remotedb/internal/engine/row"
+	"remotedb/internal/sim"
+)
+
+// DB holds the loaded tables.
+type DB struct {
+	SF float64
+
+	Region, Nation, Supplier, Customer, Part, PartSupp, Orders, Lineitem *catalog.Table
+}
+
+// Counts returns the row counts for a scale factor.
+func Counts(sf float64) (supplier, customer, part, partsupp, orders, lineitem int) {
+	supplier = int(10000 * sf)
+	customer = int(150000 * sf)
+	part = int(200000 * sf)
+	partsupp = 4 * part
+	orders = int(1500000 * sf)
+	lineitem = 4 * orders
+	if supplier < 10 {
+		supplier = 10
+	}
+	if customer < 100 {
+		customer = 100
+	}
+	if part < 100 {
+		part = 100
+	}
+	return
+}
+
+var (
+	segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "HOUSEHOLD", "MACHINERY"}
+	priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	shipmodes  = []string{"AIR", "FOB", "MAIL", "RAIL", "REG AIR", "SHIP", "TRUCK"}
+	returnflag = []string{"A", "N", "R"}
+	linestatus = []string{"F", "O"}
+	brands     = []string{"Brand#11", "Brand#22", "Brand#33", "Brand#44", "Brand#55"}
+	types      = []string{"ECONOMY ANODIZED STEEL", "STANDARD POLISHED BRASS", "PROMO BURNISHED COPPER", "SMALL PLATED TIN", "MEDIUM BRUSHED NICKEL", "PROMO PLATED STEEL"}
+	containers = []string{"SM CASE", "MED BOX", "LG JAR", "JUMBO PKG", "WRAP BAG"}
+	nations    = []string{"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "RUSSIA", "SAUDI ARABIA", "VIETNAM", "UNITED KINGDOM", "UNITED STATES"}
+	regions    = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+)
+
+// date packs y/m/d as yyyymmdd.
+func date(y, m, d int) int64 { return int64(y*10000 + m*100 + d) }
+
+// mix is a cheap deterministic hash for column synthesis.
+func mix(i, salt int) int {
+	x := uint64(i)*2654435761 + uint64(salt)*40503
+	x ^= x >> 13
+	x *= 1099511628211
+	x ^= x >> 31
+	return int(x & 0x7FFFFFFF)
+}
+
+// Load generates and bulk-loads the database at scale factor sf, with
+// the DTA-style secondary indexes the paper tunes (Section 5.2).
+func Load(p *sim.Proc, eng *engine.Engine, sf float64) (*DB, error) {
+	db := &DB{SF: sf}
+	cat := eng.Catalog
+	nSupp, nCust, nPart, nPS, nOrd, nLine := Counts(sf)
+
+	var err error
+	if db.Region, err = cat.CreateTable(p, "region", row.NewSchema(
+		row.Column{Name: "regionkey", Type: row.Int64},
+		row.Column{Name: "name", Type: row.String},
+	), "regionkey"); err != nil {
+		return nil, err
+	}
+	var rows []row.Tuple
+	for i, name := range regions {
+		rows = append(rows, row.Tuple{int64(i), name})
+	}
+	if err := db.Region.BulkLoad(p, rows); err != nil {
+		return nil, err
+	}
+
+	if db.Nation, err = cat.CreateTable(p, "nation", row.NewSchema(
+		row.Column{Name: "nationkey", Type: row.Int64},
+		row.Column{Name: "name", Type: row.String},
+		row.Column{Name: "regionkey", Type: row.Int64},
+	), "nationkey"); err != nil {
+		return nil, err
+	}
+	rows = rows[:0]
+	for i, name := range nations {
+		rows = append(rows, row.Tuple{int64(i), name, int64(i % 5)})
+	}
+	if err := db.Nation.BulkLoad(p, rows); err != nil {
+		return nil, err
+	}
+
+	if db.Supplier, err = cat.CreateTable(p, "supplier", row.NewSchema(
+		row.Column{Name: "suppkey", Type: row.Int64},
+		row.Column{Name: "name", Type: row.String},
+		row.Column{Name: "nationkey", Type: row.Int64},
+		row.Column{Name: "acctbal", Type: row.Float64},
+	), "suppkey"); err != nil {
+		return nil, err
+	}
+	rows = rows[:0]
+	for i := 0; i < nSupp; i++ {
+		rows = append(rows, row.Tuple{
+			int64(i), fmt.Sprintf("Supplier#%09d", i), int64(mix(i, 1) % 25),
+			float64(mix(i, 2)%100000) / 10,
+		})
+	}
+	if err := db.Supplier.BulkLoad(p, rows); err != nil {
+		return nil, err
+	}
+
+	if db.Customer, err = cat.CreateTable(p, "customer", row.NewSchema(
+		row.Column{Name: "custkey", Type: row.Int64},
+		row.Column{Name: "name", Type: row.String},
+		row.Column{Name: "nationkey", Type: row.Int64},
+		row.Column{Name: "acctbal", Type: row.Float64},
+		row.Column{Name: "mktsegment", Type: row.String},
+	), "custkey"); err != nil {
+		return nil, err
+	}
+	rows = rows[:0]
+	for i := 0; i < nCust; i++ {
+		rows = append(rows, row.Tuple{
+			int64(i), fmt.Sprintf("Customer#%09d", i), int64(mix(i, 3) % 25),
+			float64(mix(i, 4)%100000)/10 - 999,
+			segments[mix(i, 5)%len(segments)],
+		})
+	}
+	if err := db.Customer.BulkLoad(p, rows); err != nil {
+		return nil, err
+	}
+
+	if db.Part, err = cat.CreateTable(p, "part", row.NewSchema(
+		row.Column{Name: "partkey", Type: row.Int64},
+		row.Column{Name: "name", Type: row.String},
+		row.Column{Name: "brand", Type: row.String},
+		row.Column{Name: "type", Type: row.String},
+		row.Column{Name: "size", Type: row.Int64},
+		row.Column{Name: "container", Type: row.String},
+		row.Column{Name: "retailprice", Type: row.Float64},
+	), "partkey"); err != nil {
+		return nil, err
+	}
+	rows = rows[:0]
+	for i := 0; i < nPart; i++ {
+		rows = append(rows, row.Tuple{
+			int64(i), fmt.Sprintf("part-%d", i),
+			brands[mix(i, 6)%len(brands)], types[mix(i, 7)%len(types)],
+			int64(mix(i, 8)%50 + 1), containers[mix(i, 9)%len(containers)],
+			900 + float64(i%200),
+		})
+	}
+	if err := db.Part.BulkLoad(p, rows); err != nil {
+		return nil, err
+	}
+
+	if db.PartSupp, err = cat.CreateTable(p, "partsupp", row.NewSchema(
+		row.Column{Name: "partkey", Type: row.Int64},
+		row.Column{Name: "suppkey", Type: row.Int64},
+		row.Column{Name: "availqty", Type: row.Int64},
+		row.Column{Name: "supplycost", Type: row.Float64},
+	), "partkey", "suppkey"); err != nil {
+		return nil, err
+	}
+	rows = rows[:0]
+	for i := 0; i < nPS; i++ {
+		// Four distinct suppliers per part: a hashed base plus strided
+		// offsets, all reduced mod nSupp without collision.
+		base := mix(i/4, 10) % nSupp
+		supp := (base + (i%4)*(nSupp/4)) % nSupp
+		rows = append(rows, row.Tuple{
+			int64(i / 4), int64(supp),
+			int64(mix(i, 11)%9999 + 1), float64(mix(i, 12)%100000) / 100,
+		})
+	}
+	if err := db.PartSupp.BulkLoad(p, rows); err != nil {
+		return nil, err
+	}
+
+	if db.Orders, err = cat.CreateTable(p, "orders", row.NewSchema(
+		row.Column{Name: "orderkey", Type: row.Int64},
+		row.Column{Name: "custkey", Type: row.Int64},
+		row.Column{Name: "orderstatus", Type: row.String},
+		row.Column{Name: "totalprice", Type: row.Float64},
+		row.Column{Name: "orderdate", Type: row.Int64},
+		row.Column{Name: "orderpriority", Type: row.String},
+	), "orderkey"); err != nil {
+		return nil, err
+	}
+	rows = rows[:0]
+	for i := 0; i < nOrd; i++ {
+		y := 1992 + mix(i, 13)%7
+		m := mix(i, 14)%12 + 1
+		d := mix(i, 15)%28 + 1
+		rows = append(rows, row.Tuple{
+			int64(i), int64(mix(i, 16) % nCust), []string{"F", "O", "P"}[mix(i, 17)%3],
+			float64(mix(i, 18)%500000) / 10, date(y, m, d),
+			priorities[mix(i, 19)%len(priorities)],
+		})
+	}
+	if err := db.Orders.BulkLoad(p, rows); err != nil {
+		return nil, err
+	}
+
+	if db.Lineitem, err = cat.CreateTable(p, "lineitem", row.NewSchema(
+		row.Column{Name: "orderkey", Type: row.Int64},
+		row.Column{Name: "linenumber", Type: row.Int64},
+		row.Column{Name: "partkey", Type: row.Int64},
+		row.Column{Name: "suppkey", Type: row.Int64},
+		row.Column{Name: "quantity", Type: row.Float64},
+		row.Column{Name: "extendedprice", Type: row.Float64},
+		row.Column{Name: "discount", Type: row.Float64},
+		row.Column{Name: "tax", Type: row.Float64},
+		row.Column{Name: "returnflag", Type: row.String},
+		row.Column{Name: "linestatus", Type: row.String},
+		row.Column{Name: "shipdate", Type: row.Int64},
+		row.Column{Name: "receiptdate", Type: row.Int64},
+		row.Column{Name: "shipmode", Type: row.String},
+	), "orderkey", "linenumber"); err != nil {
+		return nil, err
+	}
+	rows = rows[:0]
+	perOrder := nLine / nOrd
+	if perOrder < 1 {
+		perOrder = 1
+	}
+	for o := 0; o < nOrd; o++ {
+		for l := 0; l < perOrder; l++ {
+			i := o*perOrder + l
+			y := 1992 + mix(i, 20)%7
+			m := mix(i, 21)%12 + 1
+			d := mix(i, 22)%28 + 1
+			ship := date(y, m, d)
+			rows = append(rows, row.Tuple{
+				int64(o), int64(l), int64(mix(i, 23) % nPart), int64(mix(i, 24) % nSupp),
+				float64(mix(i, 25)%50 + 1), float64(mix(i, 26)%100000)/10 + 900,
+				float64(mix(i, 27)%11) / 100, float64(mix(i, 28)%9) / 100,
+				returnflag[mix(i, 29)%3], linestatus[mix(i, 30)%2],
+				ship, ship + 3, shipmodes[mix(i, 31)%len(shipmodes)],
+			})
+		}
+	}
+	if err := db.Lineitem.BulkLoad(p, rows); err != nil {
+		return nil, err
+	}
+
+	// DTA-style tuned indexes (Section 5.2).
+	if _, err := cat.CreateIndex(p, "ix_orders_custkey", "orders", "custkey"); err != nil {
+		return nil, err
+	}
+	if _, err := cat.CreateIndex(p, "ix_lineitem_partkey", "lineitem", "partkey"); err != nil {
+		return nil, err
+	}
+	return db, nil
+}

@@ -1,0 +1,112 @@
+// Package workload implements the paper's benchmark workloads (Table 4):
+// the SQLIO-style I/O micro-benchmark, RangeScan (buffer-pool stress),
+// Hash+Sort (TempDB stress), and — in subpackages — the scaled TPC-H,
+// TPC-DS and TPC-C stand-ins. Sizes are the paper's scaled ~1000x down
+// so the memory-to-data ratios (what drives all the caching behaviour)
+// are preserved; see DESIGN.md §2.
+package workload
+
+import (
+	"time"
+
+	"remotedb/internal/metrics"
+	"remotedb/internal/sim"
+)
+
+// Result summarizes one driven workload run.
+type Result struct {
+	Queries  int64
+	Errors   int64
+	Elapsed  time.Duration
+	Latency  *metrics.Histogram
+	ByClient []int64
+}
+
+// Throughput returns queries per second of virtual time.
+func (r *Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Queries) / r.Elapsed.Seconds()
+}
+
+// Drive runs clients concurrent loops of fn for warmup+measure virtual
+// time, collecting latencies only during the measurement window. fn
+// errors are counted, not fatal (best-effort storage makes transient
+// errors legitimate).
+func Drive(p *sim.Proc, clients int, warmup, measure time.Duration, fn func(wp *sim.Proc, client int) error) *Result {
+	k := p.Kernel()
+	res := &Result{Latency: metrics.NewHistogram(), ByClient: make([]int64, clients)}
+	start := p.Now()
+	measureFrom := start + warmup
+	end := measureFrom + measure
+	wg := sim.NewWaitGroup(k)
+	wg.Add(clients)
+	for i := 0; i < clients; i++ {
+		i := i
+		k.Go("client", func(wp *sim.Proc) {
+			defer wg.Done()
+			for wp.Now() < end {
+				t0 := wp.Now()
+				err := fn(wp, i)
+				if wp.Now() >= measureFrom && wp.Now() < end {
+					if err != nil {
+						res.Errors++
+					} else {
+						res.Queries++
+						res.ByClient[i]++
+						res.Latency.Observe(wp.Now() - t0)
+					}
+				}
+			}
+		})
+	}
+	wg.Wait(p)
+	res.Elapsed = measure
+	return res
+}
+
+// Sampler periodically samples a value into a metrics series, for the
+// drill-down figures (11 and 14). Call Stop to end it.
+type Sampler struct {
+	Series metrics.Series
+	stop   bool
+}
+
+// NewSampler starts sampling fn every period; fn returns the value to
+// record (typically a windowed rate computed from cumulative counters).
+func NewSampler(k *sim.Kernel, name string, period time.Duration, fn func(at time.Duration) float64) *Sampler {
+	s := &Sampler{Series: metrics.Series{Name: name}}
+	k.Go("sampler:"+name, func(p *sim.Proc) {
+		for !s.stop {
+			p.Sleep(period)
+			s.Series.Add(p.Now(), fn(p.Now()))
+		}
+	})
+	return s
+}
+
+// Stop ends the sampler at its next tick.
+func (s *Sampler) Stop() { s.stop = true }
+
+// Zipf-less hotspot distribution used by the priming experiment: a
+// fraction hotAccess of accesses hit the first hotFrac of the keyspace.
+type Hotspot struct {
+	HotFrac   float64 // fraction of keyspace that is hot (paper: 0.20)
+	HotAccess float64 // fraction of accesses that go hot (paper: 0.99)
+}
+
+// Pick draws a key in [0, n) under the distribution.
+func (h Hotspot) Pick(p *sim.Proc, n int64) int64 {
+	hot := int64(h.HotFrac * float64(n))
+	if hot <= 0 {
+		hot = 1
+	}
+	if p.Rand().Float64() < h.HotAccess {
+		return p.Rand().Int63n(hot)
+	}
+	if n <= hot {
+		return p.Rand().Int63n(n)
+	}
+	return hot + p.Rand().Int63n(n-hot)
+}
