@@ -30,6 +30,7 @@
 //	fig26      semantic cache recovery
 //	fig27      parallel data loading
 //	ablation   Table 1 design-choice ablations
+//	faults     throughput through a revocation storm + recovery
 //	all        everything above
 package main
 
@@ -114,12 +115,14 @@ func run(name string) error {
 		return fig27()
 	case "ablation":
 		return ablation()
+	case "faults":
+		return faults()
 	case "all":
 		for _, n := range []string{
 			"tables", "fig3", "fig5", "fig6", "fig7", "fig9", "fig11",
 			"fig12", "fig13", "fig14", "fig15a", "fig15b", "fig16",
 			"fig18", "fig20", "fig22", "fig24", "fig25", "fig26",
-			"fig27", "ablation",
+			"fig27", "ablation", "faults",
 		} {
 			fmt.Printf("\n===== %s =====\n", n)
 			if err := run(n); err != nil {
@@ -547,5 +550,28 @@ func ablation() error {
 	fmt.Printf("  %-28s chosen(%s)=%v  alt(%s)=%v  (%.2fx)\n",
 		d.Choice, d.Chosen, d.ChosenLat.Round(time.Microsecond),
 		d.Alternative, d.AltLat.Round(time.Microsecond), d.Factor())
+	return nil
+}
+
+func faults() error {
+	fmt.Println("Fault recovery (Custom design): RangeScan through a BPExt")
+	fmt.Println("revocation storm inside a metastore partition; the FS re-leases")
+	fmt.Println("and restripes while the engine keeps running off the data file.")
+	prm := exp.DefaultFaultRecoveryParams()
+	if *quick {
+		prm.Rows = 30000
+		prm.Window = 150 * time.Millisecond
+	}
+	res, err := exp.RunFaultRecovery(*seed, prm)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  throughput q/s:  healthy=%.0f  during=%.0f  after=%.0f\n",
+		res.Healthy, res.During, res.After)
+	fmt.Printf("  stripes: lost=%d re-leased=%d salvaged=%d\n",
+		res.Lost, res.Restripes, res.Salvages)
+	fmt.Printf("  metastore timeouts while partitioned: %d\n", res.Timeouts)
+	fmt.Printf("  engine-visible query errors: %d\n", res.Errors)
+	fmt.Printf("  recovered=%v bpext-healthy=%v\n", res.Recovered, res.ExtHealthy)
 	return nil
 }

@@ -23,7 +23,7 @@ func main() {
 	for _, d := range []remotedb.Design{remotedb.DesignHDD, remotedb.DesignHDDSSD, remotedb.DesignCustom, remotedb.DesignLocalMemory} {
 		d := d
 		err := remotedb.RunInSim(1, 2*time.Hour, func(p *remotedb.Proc) error {
-			bed, err := remotedb.NewBed(p, remotedb.DefaultBedConfig(d))
+			bed, err := remotedb.NewTestBed(p, d)
 			if err != nil {
 				return err
 			}

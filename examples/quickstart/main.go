@@ -5,12 +5,15 @@
 // the lightweight file API (Table 2 of the paper) to create, write, and
 // read a file that physically lives in another machine's RAM, accessed
 // through the calibrated RDMA transport. Then we kill one memory server
-// and show the best-effort contract: the file degrades, nothing crashes.
+// and show the fault-tolerance contract: the stripes it held degrade
+// (classified remotedb.ErrUnavailable), the survivors keep serving, and
+// the FS re-leases replacements from the other donor and restripes.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 	"time"
@@ -31,7 +34,7 @@ func main() {
 		// The broker tracks spare memory cluster-wide; each donor runs a
 		// proxy that pins 8 MiB memory regions and registers them.
 		store := remotedb.NewMetaStore(k, 10*time.Microsecond)
-		broker := remotedb.NewBroker(p, store, remotedb.DefaultBrokerConfig())
+		broker := remotedb.StartBroker(p, store, remotedb.WithLeaseTTL(10*time.Second))
 		px1, err := broker.AddProxy(p, mem1, 8<<20, 8)
 		if err != nil {
 			return err
@@ -44,7 +47,9 @@ func main() {
 		// The database server's side of the plumbing: preregistered
 		// staging buffers and the remote file system client.
 		client := remotedb.NewRemoteClient(p, db1, remotedb.DefaultRemoteClientConfig())
-		fs := remotedb.NewRemoteFS(p, broker, client, remotedb.DefaultRemoteFSConfig())
+		fs := remotedb.MountRemoteFS(p, broker, client,
+			remotedb.WithProtocol(remotedb.ProtoRDMA),
+			remotedb.WithRetryPolicy(remotedb.DefaultRetryPolicy()))
 
 		// Create = lease MRs; Open = connect RDMA flows (Table 2).
 		f, err := fs.Create(p, "scratch", 32<<20)
@@ -81,13 +86,28 @@ func main() {
 		fmt.Printf("single-stream sequential read: %.2f GB/s (5 streams saturate at ~5.1 GB/s, Figure 3)\n",
 			16.0/1024/elapsed.Seconds())
 
-		// Best-effort fault tolerance: kill mem1. Reads of regions it
-		// held fail with ErrUnavailable; the application falls back.
+		// Best-effort fault tolerance: kill mem1. Stripes it held fail
+		// with an error classified ErrUnavailable (degraded mode — the
+		// surviving stripes keep serving) while the FS leases
+		// replacements from mem2 in the background and restripes.
 		broker.FailProxy(px1)
 		if err := f.ReadAt(p, got, 0); err != nil {
-			fmt.Printf("after killing mem1: %v (fall back to disk, as designed)\n", err)
+			fmt.Printf("after killing mem1: %v\n", err)
+			fmt.Printf("  errors.Is(err, remotedb.ErrUnavailable) = %v\n",
+				errors.Is(err, remotedb.ErrUnavailable))
 		} else {
 			fmt.Println("after killing mem1: file still fully served by mem2")
+		}
+		// Touch every stripe so each lost one is detected now rather than
+		// lazily at the next renew tick, then let the repairs run.
+		for off := int64(0); off < f.Size(); off += 8 << 20 {
+			_ = f.ReadAt(p, got, off)
+		}
+		p.Sleep(time.Second) // background re-lease/restripe
+		if err := f.ReadAt(p, got, 0); err == nil {
+			fmt.Printf("after restripe: reads succeed again, file now on %v\n", f.Servers())
+		} else {
+			fmt.Printf("restripe failed: %v\n", err)
 		}
 		return nil
 	})

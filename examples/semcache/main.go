@@ -22,10 +22,9 @@ import (
 
 func main() {
 	err := remotedb.RunInSim(1, 2*time.Hour, func(p *remotedb.Proc) error {
-		cfg := remotedb.DefaultBedConfig(remotedb.DesignCustom)
-		cfg.RemoteServers = 2
-		cfg.MRBytes = 16 << 20
-		bed, err := remotedb.NewBed(p, cfg)
+		bed, err := remotedb.NewTestBed(p, remotedb.DesignCustom,
+			remotedb.WithRemoteServers(2),
+			remotedb.WithStripeSize(16<<20))
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,114 @@
+// Facade-level tests: the unified error taxonomy must be classifiable
+// with errors.Is against this package alone, wherever in the stack the
+// error was produced, and the functional-options constructors must
+// assemble working objects.
+package remotedb_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"remotedb"
+)
+
+func TestErrorTaxonomyThroughFacade(t *testing.T) {
+	k := remotedb.NewKernel(1)
+	k.Go("t", func(p *remotedb.Proc) {
+		cl := remotedb.NewCluster(k)
+		db := cl.AddServer("db1", remotedb.DefaultServerConfig())
+		mem := cl.AddServer("mem1", remotedb.DefaultServerConfig())
+		store := remotedb.NewMetaStore(k, 10*time.Microsecond)
+		b := remotedb.StartBroker(p, store, remotedb.WithLeaseTTL(time.Second))
+		px, err := b.AddProxy(p, mem, 1<<20, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		client := remotedb.NewRemoteClient(p, db, remotedb.DefaultRemoteClientConfig())
+		// Recovery off: a lost stripe turns the whole file unavailable,
+		// which is the stable terminal state this test classifies.
+		fs := remotedb.MountRemoteFS(p, b, client, remotedb.WithRecovery(false))
+
+		// ErrNotFound from the file layer.
+		if _, err := fs.Open(p, "ghost"); !errors.Is(err, remotedb.ErrNotFound) {
+			t.Errorf("open missing: %v not classified ErrNotFound", err)
+		}
+
+		// ErrRetryable from the metastore, surfaced through the broker.
+		store.SetPartitioned(true)
+		if _, err := b.Request(p, "db1", 1, remotedb.PlaceSpread); !errors.Is(err, remotedb.ErrRetryable) {
+			t.Errorf("request during partition: %v not classified ErrRetryable", err)
+		} else if !remotedb.Retryable(err) {
+			t.Error("Retryable() disagrees with errors.Is")
+		}
+		store.SetPartitioned(false)
+
+		// ErrRevoked from the broker after a targeted revocation.
+		leases, err := b.Request(p, "db1", 1, remotedb.PlaceSpread)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Revoke(leases[0].ID)
+		if err := b.Renew(p, leases[0]); !errors.Is(err, remotedb.ErrRevoked) {
+			t.Errorf("renew of revoked lease: %v not classified ErrRevoked", err)
+		}
+
+		// ErrUnavailable from the file layer after the donor dies.
+		f, err := fs.Create(p, "f", 2<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := f.OpenConn(p); err != nil {
+			t.Fatal(err)
+		}
+		b.FailProxy(px)
+		if err := f.ReadAt(p, make([]byte, 4096), 0); !errors.Is(err, remotedb.ErrUnavailable) {
+			t.Errorf("read after donor failure: %v not classified ErrUnavailable", err)
+		}
+
+		// ErrClosed from the vfs layer.
+		f.Close(p)
+		if err := f.ReadAt(p, make([]byte, 4096), 0); !errors.Is(err, remotedb.ErrClosed) {
+			t.Errorf("read after close: %v not classified ErrClosed", err)
+		}
+	})
+	k.Run(time.Minute)
+}
+
+func TestOptionsConstructors(t *testing.T) {
+	err := remotedb.RunInSim(1, time.Hour, func(p *remotedb.Proc) error {
+		bed, err := remotedb.NewTestBed(p, remotedb.DesignCustom,
+			remotedb.WithStripeSize(4<<20),
+			remotedb.WithLeaseTTL(500*time.Millisecond),
+			remotedb.WithExpirySweep(100*time.Millisecond),
+			remotedb.WithRetryPolicy(remotedb.DefaultRetryPolicy()),
+			remotedb.WithRemoteServers(2),
+			remotedb.WithRecovery(true))
+		if err != nil {
+			return err
+		}
+		defer bed.Close(p)
+		if bed.Cfg.MRBytes != 4<<20 {
+			t.Errorf("stripe size: got %d", bed.Cfg.MRBytes)
+		}
+		if bed.Cfg.LeaseTTL != 500*time.Millisecond {
+			t.Errorf("lease TTL: got %v", bed.Cfg.LeaseTTL)
+		}
+		if len(bed.Mems) != 2 {
+			t.Errorf("remote servers: got %d", len(bed.Mems))
+		}
+		// The bed works: remote BPExt file exists and is striped at the
+		// configured MR size.
+		f, ok := bed.FS.Lookup("bpext")
+		if !ok {
+			t.Fatal("bpext file missing")
+		}
+		if want := int(bed.Cfg.BPExtBytes / (4 << 20)); f.Stripes() != want {
+			t.Errorf("stripes: got %d want %d", f.Stripes(), want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -12,19 +12,24 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"remotedb/internal/broker/metastore"
 	"remotedb/internal/cluster"
+	"remotedb/internal/fault"
 	"remotedb/internal/rmem"
 	"remotedb/internal/sim"
 )
 
-// Errors returned by broker operations.
+// Errors returned by broker operations, wrapped over the repository-wide
+// fault taxonomy: exhausted memory is transient (donors come and go, so
+// it is retryable), while an expired or unknown lease is gone for good
+// (revoked — the holder must request a fresh MR).
 var (
-	ErrNoMemory     = errors.New("broker: no available remote memory")
-	ErrLeaseUnknown = errors.New("broker: unknown lease")
-	ErrLeaseExpired = errors.New("broker: lease expired")
+	ErrNoMemory     = fmt.Errorf("broker: no available remote memory (%w)", fault.ErrRetryable)
+	ErrLeaseUnknown = fmt.Errorf("broker: unknown lease (%w)", fault.ErrRevoked)
+	ErrLeaseExpired = fmt.Errorf("broker: lease expired (%w)", fault.ErrRevoked)
 	ErrQuota        = errors.New("broker: holder exceeded its fair share")
 )
 
@@ -83,6 +88,8 @@ type Broker struct {
 	nextID   LeaseID
 	rrIdx    int     // persistent round-robin cursor for PlaceSpread
 	maxFrac  float64 // fair-share cap per holder (0 = unlimited)
+
+	stopExpire bool
 
 	Grants, Renewals, Expirations, Revocations int64
 }
@@ -240,8 +247,16 @@ func (b *Broker) Request(p *sim.Proc, holder string, n int, place Placement) ([]
 			Holder:    holder,
 			ExpiresAt: p.Now() + b.leaseTTL,
 		}
+		if err := b.persist(p, l); err != nil {
+			// The grant cannot be made durable (metastore partitioned):
+			// roll the MR back and surface the transient failure.
+			px.Pool.ReleaseMR(mr)
+			for _, granted := range out {
+				b.Release(p, granted)
+			}
+			return nil, fmt.Errorf("broker: persist grant: %w", err)
+		}
 		b.leases[l.ID] = l
-		b.persist(p, l)
 		b.Grants++
 		out = append(out, l)
 	}
@@ -250,7 +265,7 @@ func (b *Broker) Request(p *sim.Proc, holder string, n int, place Placement) ([]
 
 func leasePath(id LeaseID) string { return fmt.Sprintf("/broker/leases/%d", id) }
 
-func (b *Broker) persist(p *sim.Proc, l *Lease) {
+func (b *Broker) persist(p *sim.Proc, l *Lease) error {
 	meta, _ := json.Marshal(leaseMeta{
 		Holder:    l.Holder,
 		Server:    l.MR.Owner.Name,
@@ -259,14 +274,15 @@ func (b *Broker) persist(p *sim.Proc, l *Lease) {
 	})
 	path := leasePath(l.ID)
 	if b.store.Exists(p, path) {
-		b.store.Set(p, path, meta, -1)
-	} else {
-		b.store.Create(p, path, meta, 0)
+		_, err := b.store.Set(p, path, meta, -1)
+		return err
 	}
+	return b.store.Create(p, path, meta, 0)
 }
 
 // Renew extends a lease by the TTL. Expired or revoked leases cannot be
-// renewed — the holder must request a fresh MR.
+// renewed — the holder must request a fresh MR. A metastore failure
+// leaves the expiry unchanged and surfaces as a retryable error.
 func (b *Broker) Renew(p *sim.Proc, l *Lease) error {
 	cur, ok := b.leases[l.ID]
 	if !ok || cur != l {
@@ -275,8 +291,12 @@ func (b *Broker) Renew(p *sim.Proc, l *Lease) error {
 	if !l.Valid(p.Now()) {
 		return ErrLeaseExpired
 	}
+	prev := l.ExpiresAt
 	l.ExpiresAt = p.Now() + b.leaseTTL
-	b.persist(p, l)
+	if err := b.persist(p, l); err != nil {
+		l.ExpiresAt = prev
+		return fmt.Errorf("broker: persist renewal: %w", err)
+	}
 	b.Renewals++
 	return nil
 }
@@ -299,19 +319,33 @@ func (b *Broker) Release(p *sim.Proc, l *Lease) {
 }
 
 // ExpireLoop runs as a background process, revoking leases whose holders
-// stopped renewing. Interval controls the sweep cadence.
+// stopped renewing. Interval controls the sweep cadence. It exits when
+// StopExpireLoop is called (so experiment event queues can drain).
 func (b *Broker) ExpireLoop(p *sim.Proc, interval time.Duration) {
-	for {
+	for !b.stopExpire {
 		p.Sleep(interval)
+		if b.stopExpire {
+			return
+		}
 		now := p.Now()
+		// Sweep in sorted lease order so the simulation stays
+		// deterministic (map iteration order is not).
+		var ids []LeaseID
 		for id, l := range b.leases {
 			if now >= l.ExpiresAt {
-				b.Expirations++
-				b.revoke(id)
+				ids = append(ids, id)
 			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			b.Expirations++
+			b.revoke(id)
 		}
 	}
 }
+
+// StopExpireLoop asks a running ExpireLoop to exit at its next tick.
+func (b *Broker) StopExpireLoop() { b.stopExpire = true }
 
 // FailProxy simulates a crash of a memory server: all its MRs (leased or
 // not) vanish. Holders observe rmem.ErrRevoked on next access.
@@ -325,6 +359,38 @@ func (b *Broker) FailProxy(px *Proxy) {
 			b.Revocations++
 		}
 	}
+}
+
+// Revoke forcibly revokes one lease by ID (the targeted fault-injection
+// primitive), destroying its MR. It reports whether the lease existed.
+func (b *Broker) Revoke(id LeaseID) bool {
+	if _, ok := b.leases[id]; !ok {
+		return false
+	}
+	b.revoke(id)
+	return true
+}
+
+// RevokeOldest revokes the n oldest live leases (lowest IDs first) and
+// returns how many were actually revoked. This is the deterministic
+// revocation-storm primitive used by the fault-injection harness: unlike
+// memory-pressure reclamation it picks victims by ID, so a fixed seed
+// reproduces the identical storm.
+func (b *Broker) RevokeOldest(n int) int {
+	ids := make([]LeaseID, 0, len(b.leases))
+	for id := range b.leases {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	revoked := 0
+	for _, id := range ids {
+		if revoked >= n {
+			break
+		}
+		b.revoke(id)
+		revoked++
+	}
+	return revoked
 }
 
 // ActiveLeases returns the number of live leases.

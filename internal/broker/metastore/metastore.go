@@ -13,22 +13,31 @@ package metastore
 
 import (
 	"errors"
+	"fmt"
 	"sort"
 	"strings"
 	"time"
 
+	"remotedb/internal/fault"
 	"remotedb/internal/sim"
 )
 
-// Errors returned by store operations.
+// Errors returned by store operations. ErrNoNode and ErrPartitioned wrap
+// the repository-wide fault taxonomy so callers can classify them with
+// errors.Is without importing this package.
 var (
-	ErrNoNode      = errors.New("metastore: node does not exist")
+	ErrNoNode      = fmt.Errorf("metastore: node does not exist (%w)", fault.ErrNotFound)
 	ErrNodeExists  = errors.New("metastore: node already exists")
 	ErrBadVersion  = errors.New("metastore: version conflict")
 	ErrNoSession   = errors.New("metastore: session expired or closed")
 	ErrNotEmpty    = errors.New("metastore: node has children")
 	ErrBadPath     = errors.New("metastore: malformed path")
 	ErrSessionGone = errors.New("metastore: session does not exist")
+
+	// ErrPartitioned is returned while the client is partitioned from
+	// the coordination ensemble (fault injection). The condition is
+	// transient — it wraps fault.ErrRetryable.
+	ErrPartitioned = fmt.Errorf("metastore: partitioned from ensemble (%w)", fault.ErrRetryable)
 )
 
 // Node is a versioned entry.
@@ -49,12 +58,16 @@ type Event struct {
 
 // Store is the coordination service.
 type Store struct {
-	k        *sim.Kernel
-	rpcCost  time.Duration
-	nodes    map[string]*node
-	watches  map[string][]func(Event)
-	sessions map[SessionID]map[string]bool // session -> ephemeral paths
-	nextSess SessionID
+	k           *sim.Kernel
+	rpcCost     time.Duration
+	nodes       map[string]*node
+	watches     map[string][]func(Event)
+	sessions    map[SessionID]map[string]bool // session -> ephemeral paths
+	nextSess    SessionID
+	partitioned bool
+
+	// Timeouts counts operations rejected while partitioned.
+	Timeouts int64
 }
 
 // New creates a store on kernel k. rpcCost is charged per operation to
@@ -73,6 +86,24 @@ func (s *Store) charge(p *sim.Proc) {
 	if p != nil && s.rpcCost > 0 {
 		p.Sleep(s.rpcCost)
 	}
+}
+
+// SetPartitioned simulates a network partition between clients and the
+// coordination ensemble: while set, mutating and reading operations fail
+// with ErrPartitioned (after charging a timed-out RPC). The state in the
+// store is preserved — healing the partition restores service.
+func (s *Store) SetPartitioned(on bool) { s.partitioned = on }
+
+// Partitioned reports whether the store is currently unreachable.
+func (s *Store) Partitioned() bool { return s.partitioned }
+
+// reject implements the partition check shared by every operation.
+func (s *Store) reject() error {
+	if s.partitioned {
+		s.Timeouts++
+		return ErrPartitioned
+	}
+	return nil
 }
 
 func validPath(path string) bool {
@@ -126,6 +157,9 @@ func (s *Store) CloseSession(p *sim.Proc, id SessionID) error {
 // removed when the session closes.
 func (s *Store) Create(p *sim.Proc, path string, data []byte, sess SessionID) error {
 	s.charge(p)
+	if err := s.reject(); err != nil {
+		return err
+	}
 	if !validPath(path) || path == "/" {
 		return ErrBadPath
 	}
@@ -150,6 +184,9 @@ func (s *Store) Create(p *sim.Proc, path string, data []byte, sess SessionID) er
 // Get returns a node's data and version.
 func (s *Store) Get(p *sim.Proc, path string) (data []byte, version int64, err error) {
 	s.charge(p)
+	if err := s.reject(); err != nil {
+		return nil, 0, err
+	}
 	n, ok := s.nodes[path]
 	if !ok {
 		return nil, 0, ErrNoNode
@@ -160,6 +197,9 @@ func (s *Store) Get(p *sim.Proc, path string) (data []byte, version int64, err e
 // Set replaces a node's data if version matches (-1 skips the check).
 func (s *Store) Set(p *sim.Proc, path string, data []byte, version int64) (int64, error) {
 	s.charge(p)
+	if err := s.reject(); err != nil {
+		return 0, err
+	}
 	n, ok := s.nodes[path]
 	if !ok {
 		return 0, ErrNoNode
@@ -176,6 +216,9 @@ func (s *Store) Set(p *sim.Proc, path string, data []byte, version int64) (int64
 // Delete removes a childless node if version matches (-1 skips).
 func (s *Store) Delete(p *sim.Proc, path string, version int64) error {
 	s.charge(p)
+	if err := s.reject(); err != nil {
+		return err
+	}
 	n, ok := s.nodes[path]
 	if !ok {
 		return ErrNoNode
@@ -202,6 +245,9 @@ func (s *Store) Delete(p *sim.Proc, path string, version int64) error {
 // Children lists the names (not full paths) of a node's children, sorted.
 func (s *Store) Children(p *sim.Proc, path string) ([]string, error) {
 	s.charge(p)
+	if err := s.reject(); err != nil {
+		return nil, err
+	}
 	if _, ok := s.nodes[path]; !ok {
 		return nil, ErrNoNode
 	}

@@ -5,10 +5,24 @@
 // Read/Write translate file offsets to (server, MR, offset) and issue
 // RDMA transfers, Close disconnects, and Delete relinquishes the leases.
 //
-// The abstraction is deliberately best-effort (Section 4.1.5): if a
-// memory server fails or a lease is revoked under memory pressure, the
-// file turns ErrUnavailable and the consumer falls back to disk. No
-// correctness ever depends on remote memory.
+// The abstraction is deliberately best-effort (Section 4.1.5): remote
+// memory is elastic and unreliable, so leases expire under donor memory
+// pressure and whole memory servers vanish. The FS survives this in
+// three layers:
+//
+//  1. lease renewal retries transient metastore/broker failures with
+//     exponential backoff + jitter (fault.RetryPolicy);
+//  2. a revoked or expired stripe puts the file in degraded mode — the
+//     surviving stripes stay readable — while a background process
+//     leases a replacement MR and restripes the file;
+//  3. a per-file Salvage callback repopulates the lost stripe (the
+//     buffer-pool extension drops the clean pages it cached there; the
+//     semantic cache REDOes the structure from the WAL, §6.3).
+//
+// Only when recovery is disabled, or re-leasing fails past the retry
+// budget, does the file turn permanently Unavailable and the consumer
+// falls back to disk for good. No correctness ever depends on remote
+// memory.
 package core
 
 import (
@@ -17,6 +31,7 @@ import (
 	"time"
 
 	"remotedb/internal/broker"
+	"remotedb/internal/fault"
 	"remotedb/internal/hw/nic"
 	"remotedb/internal/rmem"
 	"remotedb/internal/sim"
@@ -26,6 +41,14 @@ import (
 // ConnectCost is the one-time cost of setting up an RDMA flow (queue
 // pair) to one memory server on Open.
 const ConnectCost = 100 * time.Microsecond
+
+// Salvage repopulates the byte range [off, off+n) of f after the stripe
+// holding it was lost and re-leased: the replacement MR starts zeroed,
+// and the callback restores whatever the consumer needs there (or simply
+// drops cached state that pointed into the range). It runs in a
+// background simulation process after the replacement lease is in place,
+// so f is readable and writable again when it is invoked.
+type Salvage func(p *sim.Proc, f *File, off, n int64) error
 
 // FS creates and opens remote-memory files for one database server.
 type FS struct {
@@ -38,7 +61,27 @@ type FS struct {
 	// leases alive at half-TTL cadence.
 	AutoRenew bool
 
+	// Recover enables re-lease/restripe recovery: when a stripe's lease
+	// is revoked or expires, the FS leases a replacement MR and invokes
+	// the file's Salvage callback instead of declaring the whole file
+	// unavailable. Surviving stripes stay readable meanwhile.
+	Recover bool
+
+	// Retry is the backoff policy for transient broker/metastore
+	// failures during renewal and re-leasing.
+	Retry fault.RetryPolicy
+
+	// DefaultSalvage, when non-nil, is installed on every created file
+	// (a per-file SetSalvage overrides it).
+	DefaultSalvage Salvage
+
 	files map[string]*File
+
+	// Fault-tolerance counters (virtual-time observability).
+	Restripes    int64 // stripes successfully re-leased
+	Salvages     int64 // salvage callbacks run to completion
+	RenewRetries int64 // renewal attempts beyond the first, per RPC
+	LostStripes  int64 // stripe-loss events detected
 }
 
 // Config parameterizes an FS.
@@ -47,15 +90,25 @@ type Config struct {
 	Placement broker.Placement
 	Client    rmem.ClientConfig
 	AutoRenew bool
+
+	// Recover enables re-lease/restripe recovery (see FS.Recover).
+	Recover bool
+	// Retry is the transient-failure backoff policy (see FS.Retry).
+	Retry fault.RetryPolicy
+	// Salvage is the FS-wide default salvage callback (see
+	// FS.DefaultSalvage).
+	Salvage Salvage
 }
 
-// DefaultConfig is the paper's Custom design.
+// DefaultConfig is the paper's Custom design with recovery on.
 func DefaultConfig() Config {
 	return Config{
 		Protocol:  nic.ProtoRDMA,
 		Placement: broker.PlaceSpread,
 		Client:    rmem.DefaultClientConfig(),
 		AutoRenew: true,
+		Recover:   true,
+		Retry:     fault.DefaultRetryPolicy(),
 	}
 }
 
@@ -63,16 +116,19 @@ func DefaultConfig() Config {
 // owns client. The client's staging buffers are registered here.
 func NewFS(p *sim.Proc, b *broker.Broker, client *rmem.Client, cfg Config) *FS {
 	return &FS{
-		Broker:    b,
-		Client:    client,
-		Transport: rmem.NewTransport(cfg.Protocol),
-		Placement: cfg.Placement,
-		AutoRenew: cfg.AutoRenew,
-		files:     make(map[string]*File),
+		Broker:         b,
+		Client:         client,
+		Transport:      rmem.NewTransport(cfg.Protocol),
+		Placement:      cfg.Placement,
+		AutoRenew:      cfg.AutoRenew,
+		Recover:        cfg.Recover,
+		Retry:          cfg.Retry,
+		DefaultSalvage: cfg.Salvage,
+		files:          make(map[string]*File),
 	}
 }
 
-// File is a remote-memory file (vfs.File).
+// File is a remote-memory file (vfs.File) striped over leased MRs.
 type File struct {
 	fs     *FS
 	name   string
@@ -83,8 +139,12 @@ type File struct {
 	open        bool
 	closed      bool
 	deleted     bool
-	unavailable bool
+	unavailable bool // terminal: recovery disabled or re-lease failed
 	renewStop   bool
+
+	down      []bool // per-stripe: lease lost, replacement not yet in place
+	repairing []bool // per-stripe: a repair process is running
+	salvage   Salvage
 
 	connected map[string]bool
 
@@ -92,15 +152,31 @@ type File struct {
 	BytesRead, Written int64
 }
 
-// Errors returned by the remote file layer.
+// Errors returned by the remote file layer, wrapped over the
+// repository-wide fault taxonomy where a class applies.
 var (
 	ErrExists    = errors.New("core: file already exists")
-	ErrNotFound  = errors.New("core: file does not exist")
+	ErrNotFound  = fmt.Errorf("core: file does not exist (%w)", fault.ErrNotFound)
 	ErrNotOpen   = errors.New("core: file not open")
 	ErrTooLarge  = errors.New("core: access beyond file size")
-	ErrNoLeases  = errors.New("core: could not lease remote memory")
+	ErrNoLeases  = fmt.Errorf("core: could not lease remote memory (%w)", fault.ErrUnavailable)
 	ErrAlignment = errors.New("core: file size must be positive")
 )
+
+// request leases n MRs, retrying transient broker failures per the FS
+// retry policy.
+func (fs *FS) request(p *sim.Proc, n int) ([]*broker.Lease, error) {
+	var out []*broker.Lease
+	err := fault.Retry(p, fs.Retry, func() error {
+		leases, err := fs.Broker.Request(p, fs.Client.Server.Name, n, fs.Placement)
+		if err != nil {
+			return err
+		}
+		out = leases
+		return nil
+	})
+	return out, err
+}
 
 // Create leases remote MRs backing a file of the given size. The file
 // still needs Open before I/O.
@@ -111,18 +187,18 @@ func (fs *FS) Create(p *sim.Proc, name string, size int64) (*File, error) {
 	if size <= 0 {
 		return nil, ErrAlignment
 	}
-	probe, err := fs.Broker.Request(p, fs.Client.Server.Name, 1, fs.Placement)
+	probe, err := fs.request(p, 1)
 	if err != nil {
-		return nil, fmt.Errorf("%w: %v", ErrNoLeases, err)
+		return nil, fmt.Errorf("%w: %w", ErrNoLeases, err)
 	}
 	mrSize := int64(probe[0].MR.Size())
 	need := int((size + mrSize - 1) / mrSize)
 	leases := probe
 	if need > 1 {
-		more, err := fs.Broker.Request(p, fs.Client.Server.Name, need-1, fs.Placement)
+		more, err := fs.request(p, need-1)
 		if err != nil {
 			fs.Broker.Release(p, probe[0])
-			return nil, fmt.Errorf("%w: %v", ErrNoLeases, err)
+			return nil, fmt.Errorf("%w: %w", ErrNoLeases, err)
 		}
 		leases = append(leases, more...)
 	}
@@ -132,6 +208,9 @@ func (fs *FS) Create(p *sim.Proc, name string, size int64) (*File, error) {
 		size:      size,
 		mrSize:    mrSize,
 		leases:    leases,
+		down:      make([]bool, len(leases)),
+		repairing: make([]bool, len(leases)),
+		salvage:   fs.DefaultSalvage,
 		connected: make(map[string]bool),
 	}
 	fs.files[name] = f
@@ -139,6 +218,13 @@ func (fs *FS) Create(p *sim.Proc, name string, size int64) (*File, error) {
 		p.Kernel().Go("lease-renew:"+name, f.renewLoop)
 	}
 	return f, nil
+}
+
+// Lookup returns a created file without opening connections (used by
+// observability and the fault-injection harness).
+func (fs *FS) Lookup(name string) (*File, bool) {
+	f, ok := fs.files[name]
+	return f, ok
 }
 
 // Open connects RDMA flows to every memory server backing the file.
@@ -192,7 +278,14 @@ func (fs *FS) Delete(p *sim.Proc, name string) error {
 	return nil
 }
 
-// renewLoop keeps the file's leases alive until stopped.
+// SetSalvage installs the per-file stripe-repopulation callback,
+// overriding the FS-wide default. Passing nil restores "no salvage":
+// re-leased stripes come back zeroed.
+func (f *File) SetSalvage(fn Salvage) { f.salvage = fn }
+
+// renewLoop keeps the file's leases alive until stopped, retrying
+// transient failures with backoff and handing truly lost leases to the
+// restripe path.
 func (f *File) renewLoop(p *sim.Proc) {
 	interval := f.fs.Broker.LeaseTTL() / 2
 	for {
@@ -200,13 +293,96 @@ func (f *File) renewLoop(p *sim.Proc) {
 		if f.renewStop || f.deleted {
 			return
 		}
-		for _, l := range f.leases {
-			if err := f.fs.Broker.Renew(p, l); err != nil {
-				// A lease we cannot renew means the region is gone:
-				// degrade to unavailable, best-effort semantics.
-				f.unavailable = true
+		for i := range f.leases {
+			if f.down[i] || f.repairing[i] {
+				continue
+			}
+			l := f.leases[i]
+			attempts := 0
+			err := fault.Retry(p, f.fs.Retry, func() error {
+				attempts++
+				return f.fs.Broker.Renew(p, l)
+			})
+			if attempts > 1 {
+				f.fs.RenewRetries += int64(attempts - 1)
+			}
+			if f.renewStop || f.deleted {
 				return
 			}
+			if err != nil {
+				// Retries exhausted or the lease is revoked/expired:
+				// either way this stripe's region must be replaced.
+				f.stripeLost(p, i)
+				if f.unavailable {
+					return
+				}
+			}
+		}
+	}
+}
+
+// stripeLost transitions stripe idx into degraded mode and starts the
+// background repair, or — when recovery is disabled — turns the whole
+// file unavailable (the pre-recovery best-effort contract).
+func (f *File) stripeLost(p *sim.Proc, idx int) {
+	if f.closed || f.deleted || f.unavailable {
+		return
+	}
+	if !f.fs.Recover {
+		f.unavailable = true
+		return
+	}
+	if f.down[idx] || f.repairing[idx] {
+		return // already being handled
+	}
+	f.fs.LostStripes++
+	f.down[idx] = true
+	f.repairing[idx] = true
+	name := fmt.Sprintf("restripe:%s:%d", f.name, idx)
+	p.Kernel().Go(name, func(rp *sim.Proc) { f.repairStripe(rp, idx) })
+}
+
+// repairStripe leases a replacement MR for stripe idx (retrying with
+// backoff), swaps it into the stripe table, and runs the salvage
+// callback to repopulate the range. If re-leasing fails past the retry
+// budget the file turns permanently unavailable.
+func (f *File) repairStripe(p *sim.Proc, idx int) {
+	defer func() { f.repairing[idx] = false }()
+	leases, err := f.fs.request(p, 1)
+	if f.closed || f.deleted {
+		if err == nil {
+			f.fs.Broker.Release(p, leases[0])
+		}
+		return
+	}
+	if err != nil {
+		f.unavailable = true
+		return
+	}
+	l := leases[0]
+	if int64(l.MR.Size()) != f.mrSize {
+		// Replacement pools must match the stripe geometry; a mismatch
+		// means the cluster was reconfigured under us.
+		f.fs.Broker.Release(p, l)
+		f.unavailable = true
+		return
+	}
+	server := l.MR.Owner.Name
+	if !f.connected[server] {
+		p.Sleep(ConnectCost)
+		f.connected[server] = true
+	}
+	f.leases[idx] = l
+	f.down[idx] = false
+	f.fs.Restripes++
+	if f.salvage != nil {
+		off := int64(idx) * f.mrSize
+		n := f.mrSize
+		if off+n > f.size {
+			n = f.size - off
+		}
+		if err := f.salvage(p, f, off, n); err == nil {
+			f.fs.Salvages++
 		}
 	}
 }
@@ -217,8 +393,33 @@ func (f *File) Name() string { return f.name }
 // Size returns the created size.
 func (f *File) Size() int64 { return f.size }
 
-// Unavailable reports whether the file lost its backing memory.
+// Unavailable reports whether the file lost its backing memory for good
+// (recovery disabled, or a replacement lease could not be obtained).
 func (f *File) Unavailable() bool { return f.unavailable }
+
+// Degraded reports whether any stripe is currently lost and awaiting
+// repair; reads of the surviving stripes still succeed.
+func (f *File) Degraded() bool {
+	for i := range f.down {
+		if f.down[i] || f.repairing[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// Stripes returns the stripe count.
+func (f *File) Stripes() int { return len(f.leases) }
+
+// LeaseIDs returns the IDs of the leases currently backing the file, in
+// stripe order. Fault-injection uses them to revoke specific stripes.
+func (f *File) LeaseIDs() []broker.LeaseID {
+	out := make([]broker.LeaseID, len(f.leases))
+	for i, l := range f.leases {
+		out[i] = l.ID
+	}
+	return out
+}
 
 // Servers returns the distinct memory servers backing the file.
 func (f *File) Servers() []string {
@@ -250,8 +451,16 @@ func (f *File) check(off int64, n int) error {
 	return nil
 }
 
+// stripeErr is the degraded-mode error for one lost stripe; surviving
+// stripes keep serving.
+func (f *File) stripeErr(idx int) error {
+	return fmt.Errorf("core: stripe %d of %q lost, repair in progress: %w", idx, f.name, vfs.ErrUnavailable)
+}
+
 // access splits the range [off, off+len(b)) across MRs and issues one
-// transfer per fragment.
+// transfer per fragment. A fragment on a lost stripe fails with a
+// degraded-mode error (wrapping vfs.ErrUnavailable) and triggers repair;
+// fragments on healthy stripes are unaffected.
 func (f *File) access(p *sim.Proc, b []byte, off int64, write bool) error {
 	if err := f.check(off, len(b)); err != nil {
 		return err
@@ -263,10 +472,16 @@ func (f *File) access(p *sim.Proc, b []byte, off int64, write bool) error {
 		if n > int64(len(b)) {
 			n = int64(len(b))
 		}
+		if f.down[idx] {
+			return f.stripeErr(int(idx))
+		}
 		l := f.leases[idx]
 		if !l.Valid(p.Now()) {
-			f.unavailable = true
-			return vfs.ErrUnavailable
+			f.stripeLost(p, int(idx))
+			if f.unavailable {
+				return vfs.ErrUnavailable
+			}
+			return f.stripeErr(int(idx))
 		}
 		var err error
 		if write {
@@ -276,8 +491,11 @@ func (f *File) access(p *sim.Proc, b []byte, off int64, write bool) error {
 		}
 		if err != nil {
 			if errors.Is(err, rmem.ErrRevoked) {
-				f.unavailable = true
-				return vfs.ErrUnavailable
+				f.stripeLost(p, int(idx))
+				if f.unavailable {
+					return vfs.ErrUnavailable
+				}
+				return f.stripeErr(int(idx))
 			}
 			return err
 		}

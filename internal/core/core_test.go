@@ -196,6 +196,9 @@ func TestRemoteServerFailureTurnsFileUnavailable(t *testing.T) {
 		if !errors.Is(err, vfs.ErrUnavailable) {
 			t.Errorf("read after server failure: %v", err)
 		}
+		// The only memory server is gone, so the background re-lease
+		// exhausts its retry budget and the file turns terminal.
+		p.Sleep(time.Second)
 		if !f.Unavailable() {
 			t.Error("file should be flagged unavailable")
 		}

@@ -5,10 +5,15 @@
 // pages in a second-tier file that may live on SSD or in remote memory.
 //
 // The read path is RAM, then extension, then data file; the extension is
-// strictly a performance tier: losing it (vfs.ErrUnavailable from a
-// revoked remote lease) silently disables it and the pool falls back to
-// the data file, preserving correctness — the paper's best-effort
-// contract.
+// strictly a performance tier and never compromises correctness — the
+// paper's best-effort contract. When an access fails with
+// vfs.ErrUnavailable the pool distinguishes two cases: a remote file in
+// degraded mode (a stripe lost, re-lease in progress) keeps the tier
+// attached and the access is simply a miss served from the data file,
+// while a terminally unavailable backing file disables the tier for
+// good. After a restripe, the salvage callback drops the mappings of
+// the lost range (clean pages are re-readable from the data file) via
+// InvalidateRange.
 package buffer
 
 import (
@@ -238,7 +243,10 @@ func (bp *Pool) Get(p *sim.Proc, pageNo uint64) (*Handle, error) {
 	if bp.ExtensionHealthy() {
 		ok, err := bp.ext.tryGet(p, pageNo, f.buf)
 		if err != nil {
-			bp.extFailed()
+			// The cached copy is unreachable; drop the mapping so a later
+			// (possibly restriped) read cannot see a stale image.
+			bp.ext.invalidate(pageNo)
+			bp.extFailed(err)
 		} else if ok {
 			fromExt = true
 			bp.Stats.ExtHits++
@@ -339,7 +347,7 @@ func (bp *Pool) evict(p *sim.Proc, idx int) (bool, error) {
 					return
 				}
 				if err := bp.ext.put(ep, pageNo, img, ver); err != nil {
-					bp.extFailed()
+					bp.extFailed(err)
 				} else {
 					bp.Stats.ExtWrites++
 				}
@@ -356,12 +364,22 @@ func (bp *Pool) evict(p *sim.Proc, idx int) (bool, error) {
 	return true, nil
 }
 
-// extFailed disables the extension after an unavailability error — the
-// engine keeps running off the data file (best-effort semantics).
-func (bp *Pool) extFailed() {
-	if bp.ext != nil {
-		bp.ext.disabled = true
+// extFailed decides the extension's fate after an access error. A
+// degraded remote file (stripe lost but a re-lease is in progress) keeps
+// the tier attached — the access already fell back to the data file, and
+// the restripe will restore service. Anything terminal disables the tier
+// for good (best-effort semantics: the engine keeps running off the data
+// file).
+func (bp *Pool) extFailed(err error) {
+	if bp.ext == nil {
+		return
 	}
+	if errors.Is(err, vfs.ErrUnavailable) {
+		if u, ok := bp.ext.file.(interface{ Unavailable() bool }); ok && !u.Unavailable() {
+			return // degraded, not dead: repair is pending
+		}
+	}
+	bp.ext.disabled = true
 }
 
 // writerLoop is the lazy writer: it flushes dirty unpinned pages in the
@@ -509,6 +527,7 @@ func (e *Extension) put(p *sim.Proc, pageNo uint64, src []byte, ver uint64) erro
 		e.slotPage[slot] = pageNo
 	}
 	if err := e.file.WriteAt(p, src, int64(slot)*page.Size); err != nil {
+		delete(e.table, pageNo)
 		e.slotPage[slot] = 0
 		return err
 	}
@@ -529,6 +548,35 @@ func (e *Extension) invalidate(pageNo uint64) {
 		e.slotPage[slot] = 0
 	}
 }
+
+// InvalidateRange drops every slot mapping whose backing bytes fall in
+// [off, off+n) of the extension file and returns the number dropped.
+// This is the buffer-pool extension's salvage after a stripe of its
+// remote file was lost and re-leased: the cached pages there are gone
+// (the replacement region is zeroed), but every one of them was clean,
+// so forgetting the mappings is a complete recovery — future reads fall
+// through to the data file and repopulate naturally.
+func (e *Extension) InvalidateRange(off, n int64) int {
+	lo := off / page.Size
+	hi := (off + n + page.Size - 1) / page.Size
+	if hi > int64(e.slots) {
+		hi = int64(e.slots)
+	}
+	dropped := 0
+	for slot := lo; slot >= 0 && slot < hi; slot++ {
+		if pn := e.slotPage[slot]; pn != 0 {
+			delete(e.table, pn)
+			e.slotPage[slot] = 0
+			dropped++
+		}
+	}
+	return dropped
+}
+
+// Revive re-enables a disabled extension after its backing file was
+// repaired. Callers must have invalidated any mappings that pointed at
+// lost data first.
+func (e *Extension) Revive() { e.disabled = false }
 
 // allocSlot finds a free slot or reclaims the next occupied one (FIFO
 // sweep), evicting its mapping.

@@ -19,6 +19,10 @@ import (
 	"remotedb/internal/vfs"
 )
 
+// SemCacheFactory creates the backing file for one semantic-cache
+// entry — the knob that points the cache at remote memory, SSD, or HDD.
+type SemCacheFactory = semcache.FileFactory
+
 // Files names the storage placement of each engine component.
 type Files struct {
 	Data  vfs.File // base tables and indexes

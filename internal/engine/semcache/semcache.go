@@ -77,6 +77,12 @@ type Entry struct {
 	rows  int64
 	stale bool
 
+	// snapshot is the base image captured at build time — the durable
+	// checkpoint the paper's recovery path (§6.3) replays the WAL onto.
+	// (In a real system this lives on disk; the simulation keeps the rows
+	// without charging storage for them.)
+	snapshot []row.Tuple
+
 	checkpointLSN uint64 // REDO records after this LSN are not yet in file
 }
 
@@ -136,6 +142,7 @@ func (c *Cache) Build(ctx *exec.Ctx, name, sig string, op exec.Op, policy Update
 		file:      file,
 		size:      int64(len(buf)),
 		rows:      int64(len(rows)),
+		snapshot:  rows,
 	}
 	if c.log != nil {
 		e.checkpointLSN = c.log.NextLSN() - 1
@@ -266,6 +273,123 @@ func (e *Entry) readAll(p *sim.Proc) ([]row.Tuple, error) {
 		off += n
 	}
 	return rows, nil
+}
+
+// EntryForFile finds the entry whose backing file has the given name,
+// or nil. This is how a remote file's salvage callback — which knows
+// only the file it is repairing — locates the cache entry to rebuild.
+func (c *Cache) EntryForFile(name string) *Entry {
+	for _, e := range c.entries {
+		if e.file != nil && e.file.Name() == name {
+			return e
+		}
+	}
+	return nil
+}
+
+// MarkLost flags the entry backed by the named file as stale, so plan-
+// time lookups miss (queries run against base data) while the structure
+// is rebuilt. It returns the entry, or nil if no entry uses that file.
+func (c *Cache) MarkLost(fileName string) *Entry {
+	e := c.EntryForFile(fileName)
+	if e != nil && !e.stale {
+		e.stale = true
+		c.Invalidations++
+	}
+	return e
+}
+
+// SalvageFile is the salvage callback body for a cache entry's backing
+// file: after the file was restriped it rebuilds the entry in place from
+// the checkpoint snapshot plus WAL REDO replay (§6.3). An entry with no
+// snapshot or no log stays stale — queries keep running against base
+// data, which is always correct. It returns the number of replayed
+// records.
+func (c *Cache) SalvageFile(p *sim.Proc, fileName string) (int, error) {
+	e := c.EntryForFile(fileName)
+	if e == nil {
+		return 0, nil
+	}
+	if c.log == nil || e.snapshot == nil {
+		e.stale = true
+		return 0, nil
+	}
+	return c.RecoverInPlace(p, e, e.snapshot)
+}
+
+// RecoverInPlace rebuilds an entry into its existing backing file after
+// a stripe of that file was lost and re-leased (§6.3): the snapshot
+// rows are rewritten from offset zero and REDO records past the
+// checkpoint are replayed on top, exactly like Recover but without
+// allocating a replacement file — the restriped file is reused. If the
+// rebuilt image no longer fits the file, it falls back to Recover.
+func (c *Cache) RecoverInPlace(p *sim.Proc, e *Entry, snapshot []row.Tuple) (int, error) {
+	if c.log == nil {
+		return 0, errors.New("semcache: no log manager for recovery")
+	}
+	if e.file == nil {
+		return c.Recover(p, e, snapshot)
+	}
+	var buf []byte
+	var scratch [4]byte
+	for _, t := range snapshot {
+		img, err := row.Encode(nil, e.Schema, t)
+		if err != nil {
+			return 0, err
+		}
+		binary.LittleEndian.PutUint32(scratch[:], uint32(len(img)))
+		buf = append(buf, scratch[:]...)
+		buf = append(buf, img...)
+	}
+	if int64(len(buf)) > e.file.Size() {
+		return c.Recover(p, e, snapshot)
+	}
+	const chunk = 512 << 10
+	for off := 0; off < len(buf); off += chunk {
+		end := off + chunk
+		if end > len(buf) {
+			end = len(buf)
+		}
+		if err := e.file.WriteAt(p, buf[off:end], int64(off)); err != nil {
+			// The reused file is itself unhealthy: take the fresh-file path.
+			return c.Recover(p, e, snapshot)
+		}
+	}
+	e.size = int64(len(buf))
+	e.rows = int64(len(snapshot))
+
+	replayed := 0
+	err := c.log.Replay(p, e.checkpointLSN, func(r txn.Record) error {
+		if r.Type != txn.RecSemCache {
+			return nil
+		}
+		if len(r.Payload) < 2 {
+			return txn.ErrCorruptLog
+		}
+		nameLen := int(binary.LittleEndian.Uint16(r.Payload))
+		if len(r.Payload) < 2+nameLen {
+			return txn.ErrCorruptLog
+		}
+		if string(r.Payload[2:2+nameLen]) != e.Name {
+			return nil
+		}
+		img := r.Payload[2+nameLen:]
+		binary.LittleEndian.PutUint32(scratch[:], uint32(len(img)))
+		rec := append(scratch[:], img...)
+		if err := e.file.WriteAt(p, rec, e.size); err != nil {
+			return err
+		}
+		e.size += int64(len(rec))
+		e.rows++
+		replayed++
+		return nil
+	})
+	if err != nil {
+		return replayed, err
+	}
+	e.stale = false
+	e.checkpointLSN = c.log.NextLSN() - 1
+	return replayed, nil
 }
 
 // Recover rebuilds an entry after its remote memory failed: the base

@@ -14,6 +14,7 @@ import (
 	"remotedb/internal/core"
 	"remotedb/internal/engine"
 	"remotedb/internal/engine/page"
+	"remotedb/internal/fault"
 	"remotedb/internal/hw/nic"
 	"remotedb/internal/rmem"
 	"remotedb/internal/sim"
@@ -90,6 +91,18 @@ type BedConfig struct {
 
 	// GrantBytes overrides the default per-query memory grant.
 	GrantBytes int64
+
+	// LeaseTTL overrides the broker's lease TTL (0 keeps the default).
+	LeaseTTL time.Duration
+	// ExpireEvery starts the broker's expiry sweep at this cadence
+	// (0 leaves the sweep off, as before).
+	ExpireEvery time.Duration
+	// Retry overrides the FS backoff policy for transient broker and
+	// metastore failures (zero value keeps core's default).
+	Retry fault.RetryPolicy
+	// NoRecover disables re-lease/restripe recovery, restoring the
+	// original fail-to-disk behavior (the ablation baseline).
+	NoRecover bool
 }
 
 // DefaultBedConfig mirrors the paper's default hardware (Table 3) with
@@ -115,6 +128,7 @@ type Bed struct {
 	Cfg     BedConfig
 	DB      *cluster.Server
 	Mems    []*cluster.Server
+	Store   *metastore.Store
 	Broker  *broker.Broker
 	Proxies []*broker.Proxy
 	FS      *core.FS
@@ -150,8 +164,16 @@ func NewBed(p *sim.Proc, cfg BedConfig) (*Bed, error) {
 	var tempFile, bpextFile vfs.File
 	if cfg.Design.Remote() {
 		store := metastore.New(k, 10*time.Microsecond)
-		b := broker.New(p, store, broker.DefaultConfig())
+		bed.Store = store
+		bcfg := broker.DefaultConfig()
+		if cfg.LeaseTTL > 0 {
+			bcfg.LeaseTTL = cfg.LeaseTTL
+		}
+		b := broker.New(p, store, bcfg)
 		bed.Broker = b
+		if cfg.ExpireEvery > 0 {
+			k.Go("broker-expire", func(ep *sim.Proc) { b.ExpireLoop(ep, cfg.ExpireEvery) })
+		}
 		need := cfg.TempBytes + cfg.BPExtBytes
 		perServer := (need + int64(cfg.RemoteServers) - 1) / int64(cfg.RemoteServers)
 		mrs := int((perServer+int64(cfg.MRBytes)-1)/int64(cfg.MRBytes)) + 4
@@ -171,6 +193,10 @@ func NewBed(p *sim.Proc, cfg BedConfig) (*Bed, error) {
 		client := rmem.NewClient(p, bed.DB, clientCfg)
 		fsCfg := core.DefaultConfig()
 		fsCfg.Protocol = cfg.Design.protocol()
+		fsCfg.Recover = !cfg.NoRecover
+		if cfg.Retry.MaxAttempts > 0 {
+			fsCfg.Retry = cfg.Retry
+		}
 		bed.FS = core.NewFS(p, b, client, fsCfg)
 
 		if cfg.TempBytes > 0 {
@@ -239,7 +265,41 @@ func NewBed(p *sim.Proc, cfg BedConfig) (*Bed, error) {
 		return nil, err
 	}
 	bed.Eng = eng
+	if cfg.Design.Remote() && !cfg.NoRecover {
+		bed.wireSalvage()
+	}
 	return bed, nil
+}
+
+// wireSalvage connects the engine's remote-memory consumers to the FS's
+// restripe recovery. After a lost stripe is re-leased:
+//   - the buffer-pool extension forgets the page mappings of the lost
+//     range (every cached page was clean, so dropping them is a complete
+//     recovery) and revives the tier if it was disabled;
+//   - a semantic-cache entry whose file was hit is rebuilt in place from
+//     its checkpoint snapshot plus WAL REDO replay (§6.3).
+//
+// TempDB deliberately gets no salvage: spill data is transient, and the
+// queries that owned it have already seen the degraded-mode error.
+func (bed *Bed) wireSalvage() {
+	if f, ok := bed.BPExtFile.(*core.File); ok {
+		f.SetSalvage(func(p *sim.Proc, cf *core.File, off, n int64) error {
+			if ext := bed.Eng.BP.Extension(); ext != nil {
+				ext.InvalidateRange(off, n)
+				ext.Revive()
+			}
+			return nil
+		})
+	}
+	// Semantic-cache files are created later (at Build time), so they
+	// inherit the FS-wide default salvage installed here.
+	bed.FS.DefaultSalvage = func(p *sim.Proc, cf *core.File, off, n int64) error {
+		if bed.Eng == nil || bed.Eng.Cache == nil {
+			return nil
+		}
+		_, err := bed.Eng.Cache.SalvageFile(p, cf.Name())
+		return err
+	}
 }
 
 // Close tears the bed down: it stops the engine's background machinery
@@ -249,6 +309,9 @@ func NewBed(p *sim.Proc, cfg BedConfig) (*Bed, error) {
 func (bed *Bed) Close(p *sim.Proc) {
 	if bed.Eng != nil {
 		bed.Eng.Shutdown()
+	}
+	if bed.Broker != nil {
+		bed.Broker.StopExpireLoop()
 	}
 	if bed.FS != nil {
 		bed.FS.CloseAll(p)

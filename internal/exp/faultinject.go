@@ -1,0 +1,241 @@
+// Fault injection for the experiment harness: deterministic, scheduled
+// failures of the remote-memory machinery. Because the simulation is a
+// discrete-event system with a virtual clock, an injected fault fires at
+// an exact simulated instant, so a fixed seed reproduces the identical
+// failure interleaving run after run — the property the recovery tests
+// and the "faults" experiment rely on.
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"remotedb/internal/broker"
+	"remotedb/internal/cluster"
+	"remotedb/internal/core"
+	"remotedb/internal/fault"
+	"remotedb/internal/sim"
+	"remotedb/internal/workload"
+)
+
+// FaultKind enumerates the injectable failures.
+type FaultKind int
+
+const (
+	// FaultProxyCrash fails memory server number N (its proxy stops
+	// responding and every MR it donated is revoked) — the paper's
+	// remote-node failure.
+	FaultProxyCrash FaultKind = iota
+	// FaultPartition cuts the broker and every lease holder off from the
+	// metastore ensemble: renewals and grants time out until FaultHeal.
+	FaultPartition
+	// FaultHeal ends a metastore partition.
+	FaultHeal
+	// FaultRevocationStorm revokes the N oldest live leases at once —
+	// donor memory pressure reclaiming regions in bulk.
+	FaultRevocationStorm
+	// FaultRevokeFile revokes N leases backing the named remote file
+	// (stripe-targeted revocation; N<=0 means every stripe).
+	FaultRevokeFile
+	// FaultReplenish brings a fresh memory server with N MRs into the
+	// cluster — the donor-side recovery that refills the broker's pool.
+	FaultReplenish
+)
+
+func (fk FaultKind) String() string {
+	switch fk {
+	case FaultProxyCrash:
+		return "proxy-crash"
+	case FaultPartition:
+		return "metastore-partition"
+	case FaultHeal:
+		return "metastore-heal"
+	case FaultRevocationStorm:
+		return "revocation-storm"
+	case FaultRevokeFile:
+		return "revoke-file"
+	case FaultReplenish:
+		return "replenish"
+	}
+	return "unknown"
+}
+
+// FaultEvent is one scheduled failure.
+type FaultEvent struct {
+	At   time.Duration // absolute simulation time
+	Kind FaultKind
+	N    int    // proxy index, storm width, stripe count, or MR count
+	Name string // target file (FaultRevokeFile)
+}
+
+// InjectFaults schedules the events on the bed's kernel. Call before
+// (or while) the workload runs; each event fires exactly at its virtual
+// time. Injected-fault counts are recorded on the bed's broker and
+// metastore counters.
+func (bed *Bed) InjectFaults(events []FaultEvent) {
+	for _, ev := range events {
+		ev := ev
+		name := fmt.Sprintf("fault:%s@%v", ev.Kind, ev.At)
+		bed.K.GoAt(ev.At, name, func(p *sim.Proc) { bed.applyFault(p, ev) })
+	}
+}
+
+func (bed *Bed) applyFault(p *sim.Proc, ev FaultEvent) {
+	switch ev.Kind {
+	case FaultProxyCrash:
+		if ev.N >= 0 && ev.N < len(bed.Proxies) {
+			bed.Broker.FailProxy(bed.Proxies[ev.N])
+		}
+	case FaultPartition:
+		if bed.Store != nil {
+			bed.Store.SetPartitioned(true)
+		}
+	case FaultHeal:
+		if bed.Store != nil {
+			bed.Store.SetPartitioned(false)
+		}
+	case FaultRevocationStorm:
+		bed.Broker.RevokeOldest(ev.N)
+	case FaultRevokeFile:
+		if bed.FS == nil {
+			return
+		}
+		f, ok := bed.FS.Lookup(ev.Name)
+		if !ok {
+			return
+		}
+		ids := f.LeaseIDs()
+		n := ev.N
+		if n <= 0 || n > len(ids) {
+			n = len(ids)
+		}
+		for i := 0; i < n; i++ {
+			bed.Broker.Revoke(ids[i])
+		}
+	case FaultReplenish:
+		m := bed.newMemServer(p, ev.N)
+		if m != nil {
+			bed.Mems = append(bed.Mems, m.Server)
+			bed.Proxies = append(bed.Proxies, m)
+		}
+	}
+}
+
+// newMemServer adds one more donor with mrs MRs to the running cluster.
+func (bed *Bed) newMemServer(p *sim.Proc, mrs int) *broker.Proxy {
+	if bed.Broker == nil || mrs <= 0 {
+		return nil
+	}
+	name := fmt.Sprintf("mem%d", len(bed.Mems)+1)
+	s := cluster.NewServer(bed.K, name, serverConfig(bed.Cfg.Spindles))
+	px, err := bed.Broker.AddProxy(p, s, bed.Cfg.MRBytes, mrs)
+	if err != nil {
+		return nil
+	}
+	return px
+}
+
+// FaultPhases is the result of RunFaultRecovery: RangeScan throughput in
+// three consecutive windows — before any fault, while stripes are being
+// revoked and repaired, and after recovery settles.
+type FaultPhases struct {
+	Design  Design
+	Healthy float64 // queries/sec, no faults
+	During  float64 // queries/sec, faults firing mid-window
+	After   float64 // queries/sec, post-recovery
+
+	Errors     int64 // engine-visible query errors across all windows
+	Lost       int64 // stripe-loss events detected by the FS
+	Restripes  int64 // stripes re-leased
+	Salvages   int64 // salvage callbacks completed
+	Timeouts   int64 // metastore operations rejected while partitioned
+	Recovered  bool  // throughput after faults within 20% of healthy
+	ExtHealthy bool  // BPExt still attached at the end
+}
+
+// FaultRecoveryParams tunes RunFaultRecovery.
+type FaultRecoveryParams struct {
+	Rows    int
+	Clients int
+	Window  time.Duration // length of each of the three phases
+}
+
+// DefaultFaultRecoveryParams keeps the experiment fast: a small table
+// and short windows still exercise every recovery path.
+func DefaultFaultRecoveryParams() FaultRecoveryParams {
+	return FaultRecoveryParams{Rows: 60000, Clients: 16, Window: 250 * time.Millisecond}
+}
+
+// RunFaultRecovery measures RangeScan throughput through a fault storm
+// on the Custom design: mid-run, every BPExt stripe is revoked and a
+// short metastore partition delays the re-leases. The engine must see
+// zero errors (the extension degrades to data-file reads while stripes
+// repair) and throughput must recover once restriping completes.
+func RunFaultRecovery(seed int64, prm FaultRecoveryParams) (*FaultPhases, error) {
+	out := &FaultPhases{Design: DesignCustom}
+	err := RunInSim(seed, 2*time.Hour, func(p *sim.Proc) error {
+		cfg := DefaultBedConfig(DesignCustom)
+		cfg.Seed = seed
+		// Renew aggressively and retry long enough to ride out the
+		// injected partition.
+		cfg.LeaseTTL = 100 * time.Millisecond
+		cfg.ExpireEvery = 25 * time.Millisecond
+		cfg.Retry = fault.DefaultRetryPolicy()
+		cfg.Retry.MaxAttempts = 12
+		bed, err := NewBed(p, cfg)
+		if err != nil {
+			return err
+		}
+		wcfg := workload.DefaultRangeScan()
+		wcfg.Rows = prm.Rows
+		wcfg.Clients = prm.Clients
+		wcfg.UpdateFraction = 0.05
+		w, err := workload.NewRangeScan(p, bed.Eng, wcfg)
+		if err != nil {
+			return err
+		}
+
+		// Phase 1: healthy.
+		warm := 100 * time.Millisecond
+		res := w.Run(p, warm, prm.Window)
+		out.Healthy = res.Throughput()
+		out.Errors += res.Errors
+
+		// Phase 2: revoke every BPExt stripe a little into the window,
+		// inside a brief metastore partition so the first re-lease
+		// attempts must retry. The revoked MRs are destroyed, so a fresh
+		// donor replenishes the pool once the partition heals — the
+		// repairs' backoff rides out the gap.
+		now := p.Now()
+		stripes := int(cfg.BPExtBytes / int64(cfg.MRBytes))
+		bed.InjectFaults([]FaultEvent{
+			{At: now + 20*time.Millisecond, Kind: FaultPartition},
+			{At: now + 25*time.Millisecond, Kind: FaultRevokeFile, Name: "bpext"},
+			{At: now + 60*time.Millisecond, Kind: FaultHeal},
+			{At: now + 70*time.Millisecond, Kind: FaultReplenish, N: stripes},
+		})
+		res = w.Run(p, 0, prm.Window)
+		out.During = res.Throughput()
+		out.Errors += res.Errors
+
+		// Phase 3: recovered.
+		res = w.Run(p, 50*time.Millisecond, prm.Window)
+		out.After = res.Throughput()
+		out.Errors += res.Errors
+
+		out.Lost = bed.FS.LostStripes
+		out.Restripes = bed.FS.Restripes
+		out.Salvages = bed.FS.Salvages
+		if bed.Store != nil {
+			out.Timeouts = bed.Store.Timeouts
+		}
+		out.Recovered = out.After >= 0.8*out.Healthy
+		out.ExtHealthy = bed.Eng.BP.ExtensionHealthy()
+		if bpx, ok := bed.BPExtFile.(*core.File); ok && bpx.Unavailable() {
+			out.ExtHealthy = false
+		}
+		bed.Close(p)
+		return nil
+	})
+	return out, err
+}

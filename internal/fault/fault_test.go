@@ -1,0 +1,112 @@
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"remotedb/internal/sim"
+)
+
+func TestBackoffSchedule(t *testing.T) {
+	rp := RetryPolicy{MaxAttempts: 6, BaseDelay: time.Millisecond, MaxDelay: 8 * time.Millisecond, Multiplier: 2}
+	want := []time.Duration{
+		1 * time.Millisecond,
+		2 * time.Millisecond,
+		4 * time.Millisecond,
+		8 * time.Millisecond,
+		8 * time.Millisecond, // capped
+	}
+	for i, w := range want {
+		if got := rp.Backoff(i+1, nil); got != w {
+			t.Errorf("backoff(%d) = %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	rp := RetryPolicy{MaxAttempts: 3, BaseDelay: 10 * time.Millisecond, Multiplier: 1, Jitter: 0.5}
+	k := sim.New(42)
+	rng := k.Rand()
+	for i := 0; i < 100; i++ {
+		d := rp.Backoff(1, rng)
+		if d < 5*time.Millisecond || d > 15*time.Millisecond {
+			t.Fatalf("jittered backoff %v outside [5ms, 15ms]", d)
+		}
+	}
+}
+
+func TestRetryStopsOnNonRetryable(t *testing.T) {
+	permanent := errors.New("permanent")
+	k := sim.New(1)
+	k.Go("test", func(p *sim.Proc) {
+		calls := 0
+		err := Retry(p, DefaultRetryPolicy(), func() error {
+			calls++
+			return permanent
+		})
+		if !errors.Is(err, permanent) {
+			t.Errorf("err = %v, want permanent", err)
+		}
+		if calls != 1 {
+			t.Errorf("non-retryable error retried %d times", calls)
+		}
+	})
+	k.Run(0)
+}
+
+func TestRetrySucceedsAfterTransientFailures(t *testing.T) {
+	k := sim.New(1)
+	k.Go("test", func(p *sim.Proc) {
+		calls := 0
+		start := p.Now()
+		err := Retry(p, RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond, Multiplier: 2}, func() error {
+			calls++
+			if calls < 3 {
+				return fmt.Errorf("flaky: %w", ErrRetryable)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Errorf("retry should have succeeded: %v", err)
+		}
+		if calls != 3 {
+			t.Errorf("calls = %d, want 3", calls)
+		}
+		// Two backoffs: 1 ms + 2 ms of virtual time.
+		if elapsed := p.Now() - start; elapsed != 3*time.Millisecond {
+			t.Errorf("elapsed = %v, want 3ms of virtual backoff", elapsed)
+		}
+	})
+	k.Run(0)
+}
+
+func TestRetryExhaustsAttempts(t *testing.T) {
+	k := sim.New(1)
+	k.Go("test", func(p *sim.Proc) {
+		calls := 0
+		err := Retry(p, RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond}, func() error {
+			calls++
+			return fmt.Errorf("still down: %w", ErrRetryable)
+		})
+		if calls != 3 {
+			t.Errorf("calls = %d, want 3", calls)
+		}
+		if !errors.Is(err, ErrRetryable) {
+			t.Errorf("exhausted error should stay classified retryable: %v", err)
+		}
+	})
+	k.Run(0)
+}
+
+func TestTaxonomyDistinct(t *testing.T) {
+	all := []error{ErrRetryable, ErrRevoked, ErrUnavailable, ErrNotFound, ErrClosed}
+	for i, a := range all {
+		for j, b := range all {
+			if (i == j) != errors.Is(a, b) {
+				t.Errorf("errors.Is(%v, %v) = %v", a, b, i == j)
+			}
+		}
+	}
+}

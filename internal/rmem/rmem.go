@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"remotedb/internal/cluster"
+	"remotedb/internal/fault"
 	"remotedb/internal/hw/nic"
 	"remotedb/internal/sim"
 )
@@ -48,8 +49,10 @@ func (mr *MR) Leased() bool { return mr.leased }
 // failure or pressure); accesses to a revoked MR fail.
 func (mr *MR) Revoked() bool { return mr.revoked }
 
-// ErrRevoked is returned when accessing an MR whose memory is gone.
-var ErrRevoked = errors.New("rmem: memory region revoked")
+// ErrRevoked is returned when accessing an MR whose memory is gone. It
+// wraps fault.ErrRevoked: the region never comes back, the holder must
+// lease a replacement.
+var ErrRevoked = fmt.Errorf("rmem: memory region revoked (%w)", fault.ErrRevoked)
 
 // Pool is the memory-server side of the brokering proxy: it pins free
 // memory into fixed-size MRs, preregisters them with the NIC, and hands

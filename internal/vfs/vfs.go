@@ -8,9 +8,9 @@
 package vfs
 
 import (
-	"errors"
 	"fmt"
 
+	"remotedb/internal/fault"
 	"remotedb/internal/hw/disk"
 	"remotedb/internal/sim"
 )
@@ -29,14 +29,15 @@ type File interface {
 	Close(p *sim.Proc) error
 }
 
-// ErrClosed is returned on access to a closed file.
-var ErrClosed = errors.New("vfs: file is closed")
+// ErrClosed is returned on access to a closed file. It wraps
+// fault.ErrClosed so errors.Is classification works through the facade.
+var ErrClosed = fmt.Errorf("vfs: file is closed (%w)", fault.ErrClosed)
 
 // ErrUnavailable is returned when a file's backing store is gone (a
 // remote-memory file whose lease was revoked). Consumers treat it as a
 // signal to fall back, never as corruption — the paper's best-effort
-// fault-tolerance contract.
-var ErrUnavailable = errors.New("vfs: backing store unavailable")
+// fault-tolerance contract. It wraps fault.ErrUnavailable.
+var ErrUnavailable = fmt.Errorf("vfs: backing store unavailable (%w)", fault.ErrUnavailable)
 
 // chunkSize is the allocation granularity of the sparse in-memory store.
 const chunkSize = 64 << 10
@@ -203,3 +204,9 @@ func (f *DeviceFile) Close(p *sim.Proc) error {
 	f.closed = true
 	return nil
 }
+
+// Every concrete file implements the interface the engine consumes.
+var (
+	_ File = (*MemFile)(nil)
+	_ File = (*DeviceFile)(nil)
+)

@@ -1,0 +1,264 @@
+// Unified error taxonomy and functional options for the remotedb
+// facade.
+//
+// Errors: every layer of the stack (metastore, broker, rmem transport,
+// remote FS, vfs) wraps its sentinels over the five classes re-exported
+// here, so callers classify failures with errors.Is against this package
+// alone — errors.Is(err, remotedb.ErrUnavailable) holds whether the
+// error was produced three layers down by a revoked memory region or by
+// the file layer's degraded mode.
+//
+// Options: the With... functional options below parameterize the
+// Start*/Mount*/NewTestBed constructors. Every constructor takes the
+// same Option type and reads the fields it understands; an option that a
+// constructor does not consume is simply ignored, so a common option set
+// can be reused across calls.
+package remotedb
+
+import (
+	"time"
+
+	"remotedb/internal/broker"
+	"remotedb/internal/core"
+	"remotedb/internal/engine"
+	"remotedb/internal/exp"
+	"remotedb/internal/fault"
+	"remotedb/internal/vfs"
+)
+
+// The repository-wide error classes. Concrete layer errors wrap exactly
+// one of these (via %w), so errors.Is classifies any error from any
+// layer:
+//
+//	ErrRetryable   — transient; retrying with backoff may succeed
+//	ErrRevoked     — a lease or memory region was revoked / expired
+//	ErrUnavailable — backing storage is gone; fall back to base data
+//	ErrNotFound    — the named object does not exist
+//	ErrClosed      — the object was closed and cannot be used
+var (
+	ErrRetryable   = fault.ErrRetryable
+	ErrRevoked     = fault.ErrRevoked
+	ErrUnavailable = fault.ErrUnavailable
+	ErrNotFound    = fault.ErrNotFound
+	ErrClosed      = fault.ErrClosed
+)
+
+// Retryable reports whether err is classified transient (wraps
+// ErrRetryable), i.e. worth retrying with backoff.
+func Retryable(err error) bool { return fault.Retryable(err) }
+
+// RetryPolicy is the exponential-backoff-with-jitter policy used for
+// transient broker/metastore failures (lease renewal, re-leasing).
+type RetryPolicy = fault.RetryPolicy
+
+// DefaultRetryPolicy retries 5 times from 1 ms, doubling, capped at
+// 100 ms, with 20% jitter.
+func DefaultRetryPolicy() RetryPolicy { return fault.DefaultRetryPolicy() }
+
+// Salvage repopulates a byte range of a remote file after its stripe
+// was lost and re-leased (see RemoteFile and the fault-tolerance section
+// of DESIGN.md).
+type Salvage = core.Salvage
+
+// Placement chooses how leased MRs spread over memory servers.
+type Placement = broker.Placement
+
+// The two placement policies.
+const (
+	PlacePack   = broker.PlacePack
+	PlaceSpread = broker.PlaceSpread
+)
+
+// settings collects everything the option-based constructors can be
+// told. One shared struct (rather than per-constructor option types)
+// keeps a single Option namespace: WithLeaseTTL works on StartBroker and
+// NewTestBed alike.
+type settings struct {
+	stripeSize   int
+	leaseTTL     time.Duration
+	expireEvery  time.Duration
+	retry        *RetryPolicy
+	salvage      Salvage
+	bufferFrames int
+	bpextSlots   int
+	grant        int64
+	protocol     *Protocol
+	placement    *Placement
+	autoRenew    *bool
+	recover      *bool
+	remoteSrvs   int
+	semCache     EngineConfig // only the SemCache field is read
+}
+
+// Option parameterizes the Start*/Mount*/NewTestBed constructors.
+type Option func(*settings)
+
+func apply(opts []Option) *settings {
+	s := &settings{}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// WithStripeSize sets the memory-region (stripe) size in bytes.
+// Consumed by NewTestBed (the size its donors pin and register).
+func WithStripeSize(bytes int) Option { return func(s *settings) { s.stripeSize = bytes } }
+
+// WithLeaseTTL sets the broker's lease time-to-live. Consumed by
+// StartBroker and NewTestBed.
+func WithLeaseTTL(ttl time.Duration) Option { return func(s *settings) { s.leaseTTL = ttl } }
+
+// WithExpirySweep starts the broker's expiry sweep at the given cadence.
+// Consumed by NewTestBed.
+func WithExpirySweep(every time.Duration) Option {
+	return func(s *settings) { s.expireEvery = every }
+}
+
+// WithRetryPolicy sets the backoff policy for transient broker and
+// metastore failures. Consumed by MountRemoteFS and NewTestBed.
+func WithRetryPolicy(rp RetryPolicy) Option { return func(s *settings) { s.retry = &rp } }
+
+// WithSalvage installs the FS-wide default stripe-repopulation callback
+// run after a lost stripe is re-leased. Consumed by MountRemoteFS.
+func WithSalvage(fn Salvage) Option { return func(s *settings) { s.salvage = fn } }
+
+// WithBufferFrames sets the engine's buffer-pool size in 8 KiB frames.
+// Consumed by StartEngine.
+func WithBufferFrames(frames int) Option { return func(s *settings) { s.bufferFrames = frames } }
+
+// WithBPExtSlots sets the buffer-pool extension capacity in pages.
+// Consumed by StartEngine (requires a BPExt file in EngineFiles).
+func WithBPExtSlots(slots int) Option { return func(s *settings) { s.bpextSlots = slots } }
+
+// WithGrant sets the per-query memory grant in bytes. Consumed by
+// StartEngine.
+func WithGrant(bytes int64) Option { return func(s *settings) { s.grant = bytes } }
+
+// WithProtocol selects the transport (ProtoRDMA, ProtoSMBDirect,
+// ProtoSMB). Consumed by MountRemoteFS.
+func WithProtocol(proto Protocol) Option { return func(s *settings) { s.protocol = &proto } }
+
+// WithPlacement selects how leased MRs spread over servers. Consumed by
+// MountRemoteFS.
+func WithPlacement(pl Placement) Option { return func(s *settings) { s.placement = &pl } }
+
+// WithAutoRenew enables or disables the per-file background lease
+// renewal process. Consumed by MountRemoteFS.
+func WithAutoRenew(on bool) Option { return func(s *settings) { s.autoRenew = &on } }
+
+// WithRecovery enables or disables re-lease/restripe recovery of lost
+// stripes (on by default; off restores the original fail-to-disk
+// behavior). Consumed by MountRemoteFS and NewTestBed.
+func WithRecovery(on bool) Option { return func(s *settings) { s.recover = &on } }
+
+// WithRemoteServers sets how many memory servers donate MRs. Consumed
+// by NewTestBed.
+func WithRemoteServers(n int) Option { return func(s *settings) { s.remoteSrvs = n } }
+
+// WithSemCache points the engine's semantic cache at a file factory
+// (nil leaves the cache disabled). Consumed by StartEngine.
+func WithSemCache(factory SemCacheFactory) Option {
+	return func(s *settings) { s.semCache.SemCache = factory }
+}
+
+// SemCacheFactory creates the backing file for one semantic-cache
+// entry; it is how the cache is pointed at remote memory, SSD, or HDD.
+type SemCacheFactory = engine.SemCacheFactory
+
+// StartBroker creates a memory broker backed by store, configured by
+// options (WithLeaseTTL).
+func StartBroker(p *Proc, store *MetaStore, opts ...Option) *Broker {
+	s := apply(opts)
+	cfg := broker.DefaultConfig()
+	if s.leaseTTL > 0 {
+		cfg.LeaseTTL = s.leaseTTL
+	}
+	return broker.New(p, store, cfg)
+}
+
+// MountRemoteFS creates the remote file system client on the database
+// server owning client, configured by options (WithProtocol,
+// WithPlacement, WithAutoRenew, WithRecovery, WithRetryPolicy,
+// WithSalvage).
+func MountRemoteFS(p *Proc, b *Broker, client *RemoteClient, opts ...Option) *RemoteFS {
+	s := apply(opts)
+	cfg := core.DefaultConfig()
+	if s.protocol != nil {
+		cfg.Protocol = *s.protocol
+	}
+	if s.placement != nil {
+		cfg.Placement = *s.placement
+	}
+	if s.autoRenew != nil {
+		cfg.AutoRenew = *s.autoRenew
+	}
+	if s.recover != nil {
+		cfg.Recover = *s.recover
+	}
+	if s.retry != nil {
+		cfg.Retry = *s.retry
+	}
+	if s.salvage != nil {
+		cfg.Salvage = s.salvage
+	}
+	return core.NewFS(p, b, client, cfg)
+}
+
+// StartEngine assembles the mini-RDBMS on server over the given storage
+// placement, configured by options (WithBufferFrames, WithBPExtSlots,
+// WithGrant, WithSemCache).
+func StartEngine(p *Proc, server *Server, files EngineFiles, opts ...Option) (*Engine, error) {
+	s := apply(opts)
+	frames := s.bufferFrames
+	if frames <= 0 {
+		frames = 4096 // 32 MiB of 8 KiB frames, the paper's default
+	}
+	cfg := engine.DefaultConfig(frames)
+	if s.bpextSlots > 0 {
+		cfg.BPExtSlots = s.bpextSlots
+	}
+	if s.grant > 0 {
+		cfg.Grant = s.grant
+	}
+	cfg.SemCache = s.semCache.SemCache
+	return engine.New(p, server, files, cfg)
+}
+
+// NewTestBed assembles a full test bed for one of the Table 5 designs,
+// configured by options (WithStripeSize, WithLeaseTTL, WithExpirySweep,
+// WithRetryPolicy, WithRecovery, WithRemoteServers, WithBufferFrames).
+func NewTestBed(p *Proc, d Design, opts ...Option) (*Bed, error) {
+	s := apply(opts)
+	cfg := exp.DefaultBedConfig(d)
+	if s.stripeSize > 0 {
+		cfg.MRBytes = s.stripeSize
+	}
+	if s.leaseTTL > 0 {
+		cfg.LeaseTTL = s.leaseTTL
+	}
+	if s.expireEvery > 0 {
+		cfg.ExpireEvery = s.expireEvery
+	}
+	if s.retry != nil {
+		cfg.Retry = *s.retry
+	}
+	if s.recover != nil {
+		cfg.NoRecover = !*s.recover
+	}
+	if s.remoteSrvs > 0 {
+		cfg.RemoteServers = s.remoteSrvs
+	}
+	if s.bufferFrames > 0 {
+		cfg.LocalMemBytes = int64(s.bufferFrames) * 8192
+	}
+	return exp.NewBed(p, cfg)
+}
+
+// Every concrete file the facade hands out satisfies the one interface
+// the engine consumes.
+var (
+	_ File = (*core.File)(nil)
+	_ File = (*vfs.MemFile)(nil)
+	_ File = (*vfs.DeviceFile)(nil)
+)

@@ -92,6 +92,9 @@ func NewMetaStore(k *Kernel, rpcCost time.Duration) *MetaStore {
 }
 
 // NewBroker creates a memory broker backed by store.
+//
+// Deprecated: use StartBroker with functional options (WithLeaseTTL);
+// this bare-Config constructor is kept for compatibility.
 func NewBroker(p *Proc, store *MetaStore, cfg BrokerConfig) *Broker {
 	return broker.New(p, store, cfg)
 }
@@ -138,6 +141,10 @@ type (
 )
 
 // NewRemoteFS creates the remote file system client.
+//
+// Deprecated: use MountRemoteFS with functional options (WithProtocol,
+// WithRetryPolicy, WithSalvage, ...); this bare-Config constructor is
+// kept for compatibility.
 func NewRemoteFS(p *Proc, b *Broker, client *RemoteClient, cfg RemoteFSConfig) *RemoteFS {
 	return core.NewFS(p, b, client, cfg)
 }
@@ -159,6 +166,10 @@ type (
 )
 
 // NewEngine assembles an engine on server with the given placement.
+//
+// Deprecated: use StartEngine with functional options (WithBufferFrames,
+// WithBPExtSlots, WithGrant, WithSemCache); this bare-Config constructor
+// is kept for compatibility.
 func NewEngine(p *Proc, server *Server, files EngineFiles, cfg EngineConfig) (*Engine, error) {
 	return engine.New(p, server, files, cfg)
 }
@@ -187,6 +198,11 @@ const (
 )
 
 // NewBed assembles a test bed for a design inside simulation process p.
+//
+// Deprecated: use NewTestBed with functional options (WithStripeSize,
+// WithLeaseTTL, WithRecovery, ...); this bare-Config constructor is kept
+// for compatibility (DefaultBedConfig remains the way to reach every
+// knob at once).
 func NewBed(p *Proc, cfg BedConfig) (*Bed, error) { return exp.NewBed(p, cfg) }
 
 // DefaultBedConfig mirrors the paper's defaults for a design.
