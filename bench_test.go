@@ -103,7 +103,7 @@ func BenchmarkFig11_RangeScanDrilldown(b *testing.B) {
 
 func BenchmarkFig12_BPExtSize(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := exp.RunFig12BPExtSize(benchSeed, false)
+		pts, err := exp.RunFig12BPExtSize(benchSeed, false, exp.DefaultFig12Params())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -114,7 +114,7 @@ func BenchmarkFig12_BPExtSize(b *testing.B) {
 
 func BenchmarkFig13_RemoteImpact(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := exp.RunFig13RemoteImpact(benchSeed)
+		res, err := exp.RunFig13RemoteImpact(benchSeed, exp.DefaultFig13Params())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -187,7 +187,7 @@ func BenchmarkFig15b_SeekVsScan(b *testing.B) {
 
 func BenchmarkFig16_Priming(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		res, err := exp.RunFig16Priming(benchSeed, []int64{10, 15, 20, 25})
+		res, err := exp.RunFig16Priming(benchSeed, exp.DefaultFig16Params())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -268,7 +268,7 @@ func BenchmarkFig22_23_TPCC(b *testing.B) {
 
 func BenchmarkFig24_LocalMemorySweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := exp.RunFig24LocalMemorySweep(benchSeed)
+		pts, err := exp.RunFig24LocalMemorySweep(benchSeed, exp.DefaultFig24Params())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -288,7 +288,7 @@ func BenchmarkFig24_LocalMemorySweep(b *testing.B) {
 
 func BenchmarkFig25_MultiDBRangeScan(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		pts, err := exp.RunFig25MultiDBRangeScan(benchSeed)
+		pts, err := exp.RunFig25MultiDBRangeScan(benchSeed, exp.DefaultFig25Params())
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -1,0 +1,63 @@
+// Machine-readable results: with -json, every experiment additionally
+// writes BENCH_<experiment>.json next to its human-readable table —
+// experiment name, seed, wall-clock, and a flat metric map (throughput,
+// latency percentiles, fault counters) for dashboards and regression
+// diffing.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+var jsonOut = flag.Bool("json", false, "also write BENCH_<experiment>.json with machine-readable results")
+
+// benchFile is the emitted JSON document.
+type benchFile struct {
+	Experiment string             `json:"experiment"`
+	Seed       int64              `json:"seed"`
+	Quick      bool               `json:"quick"`
+	WallMS     int64              `json:"wall_ms"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+// bench accumulates the metrics of the experiment currently running.
+var bench = struct{ metrics map[string]float64 }{}
+
+func benchReset() { bench.metrics = make(map[string]float64) }
+
+// metric records one named value (no-op without -json).
+func metric(name string, v float64) {
+	if bench.metrics != nil {
+		bench.metrics[name] = v
+	}
+}
+
+// metricDur records a duration in milliseconds.
+func metricDur(name string, d time.Duration) {
+	metric(name, float64(d)/float64(time.Millisecond))
+}
+
+// benchWrite emits BENCH_<name>.json for the experiment just finished.
+func benchWrite(name string, start time.Time) error {
+	doc := benchFile{
+		Experiment: name,
+		Seed:       *seed,
+		Quick:      *quick,
+		WallMS:     time.Since(start).Milliseconds(),
+		Metrics:    bench.metrics,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	path := fmt.Sprintf("BENCH_%s.json", name)
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("[wrote %s]\n", path)
+	return nil
+}

@@ -31,7 +31,12 @@
 //	fig27      parallel data loading
 //	ablation   Table 1 design-choice ablations
 //	faults     throughput through a revocation storm + recovery
+//	scrub      silent-corruption storm + K=2 revocation storm
 //	all        everything above
+//
+// With -json each experiment also writes BENCH_<experiment>.json:
+// experiment name, seed, wall-clock, and a flat metric map (throughput,
+// latency percentiles, fault counters).
 package main
 
 import (
@@ -71,7 +76,35 @@ func main() {
 	fmt.Printf("\n[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
 }
 
+// run executes one experiment (or "all"), recording metrics and writing
+// BENCH_<name>.json when -json is set.
 func run(name string) error {
+	if name == "all" {
+		for _, n := range []string{
+			"tables", "fig3", "fig5", "fig6", "fig7", "fig9", "fig11",
+			"fig12", "fig13", "fig14", "fig15a", "fig15b", "fig16",
+			"fig18", "fig20", "fig22", "fig24", "fig25", "fig26",
+			"fig27", "ablation", "faults", "scrub",
+		} {
+			fmt.Printf("\n===== %s =====\n", n)
+			if err := run(n); err != nil {
+				return fmt.Errorf("%s: %w", n, err)
+			}
+		}
+		return nil
+	}
+	benchReset()
+	start := time.Now()
+	if err := dispatch(name); err != nil {
+		return err
+	}
+	if *jsonOut {
+		return benchWrite(name, start)
+	}
+	return nil
+}
+
+func dispatch(name string) error {
 	switch name {
 	case "tables":
 		return tables()
@@ -117,19 +150,8 @@ func run(name string) error {
 		return ablation()
 	case "faults":
 		return faults()
-	case "all":
-		for _, n := range []string{
-			"tables", "fig3", "fig5", "fig6", "fig7", "fig9", "fig11",
-			"fig12", "fig13", "fig14", "fig15a", "fig15b", "fig16",
-			"fig18", "fig20", "fig22", "fig24", "fig25", "fig26",
-			"fig27", "ablation", "faults",
-		} {
-			fmt.Printf("\n===== %s =====\n", n)
-			if err := run(n); err != nil {
-				return fmt.Errorf("%s: %w", n, err)
-			}
-		}
-		return nil
+	case "scrub":
+		return scrub()
 	}
 	return fmt.Errorf("unknown experiment %q", name)
 }
@@ -211,6 +233,10 @@ func rangeScan(updates float64) error {
 	for _, r := range res {
 		fmt.Printf("  %-22s %10d %14.0f %12v %12v\n", r.Design, r.Spindles,
 			r.Throughput, r.MeanLat.Round(time.Microsecond), r.P95Lat.Round(time.Microsecond))
+		key := fmt.Sprintf("%s/%d", r.Design, r.Spindles)
+		metric(key+"/queries_per_sec", r.Throughput)
+		metricDur(key+"/mean_lat_ms", r.MeanLat)
+		metricDur(key+"/p95_lat_ms", r.P95Lat)
 	}
 	return nil
 }
@@ -241,8 +267,14 @@ func fig11() error {
 }
 
 func fig12() error {
+	prm := exp.DefaultFig12Params()
+	if *quick {
+		prm.SizesMB = []int64{32, 96, 144}
+		prm.Rows = 300000
+		prm.Measure = 400 * time.Millisecond
+	}
 	for _, multi := range []bool{false, true} {
-		pts, err := exp.RunFig12BPExtSize(*seed, multi)
+		pts, err := exp.RunFig12BPExtSize(*seed, multi, prm)
 		if err != nil {
 			return err
 		}
@@ -260,7 +292,13 @@ func fig12() error {
 }
 
 func fig13() error {
-	res, err := exp.RunFig13RemoteImpact(*seed)
+	prm := exp.DefaultFig13Params()
+	if *quick {
+		prm.SBClients = 40
+		prm.Warmup = 200 * time.Millisecond
+		prm.Measure = 800 * time.Millisecond
+	}
+	res, err := exp.RunFig13RemoteImpact(*seed, prm)
 	if err != nil {
 		return err
 	}
@@ -289,6 +327,7 @@ func fig14() error {
 	for _, r := range res {
 		fmt.Printf("  %-22s %10d %14v %9dM %9dM\n", r.Design, r.Spindles,
 			r.Latency.Round(time.Millisecond), r.TempDBWrote>>20, r.TempDBRead>>20)
+		metricDur(fmt.Sprintf("%s/%d/latency_ms", r.Design, r.Spindles), r.Latency)
 	}
 	return nil
 }
@@ -333,11 +372,12 @@ func fig15b() error {
 }
 
 func fig16() error {
-	sizes := []int64{10, 15, 20, 25}
+	prm := exp.DefaultFig16Params()
 	if *quick {
-		sizes = []int64{10, 20}
+		prm.BPSizesMB = []int64{10, 20}
+		prm.Rows = 125000
 	}
-	res, err := exp.RunFig16Priming(*seed, sizes)
+	res, err := exp.RunFig16Priming(*seed, prm)
 	if err != nil {
 		return err
 	}
@@ -379,6 +419,7 @@ func tpch() error {
 		}
 		results[d] = r
 		fmt.Printf("  %-22s %12.0f q/h  (spilling queries: %d)\n", d, r.QueriesPerHour, r.SpilledQueries)
+		metric(fmt.Sprintf("%s/queries_per_hour", d), r.QueriesPerHour)
 	}
 	if base, ok := results[exp.DesignHDDSSD]; ok {
 		if cust, ok := results[exp.DesignCustom]; ok {
@@ -416,6 +457,7 @@ func tpcds() error {
 		}
 		results[d] = r
 		fmt.Printf("  %-22s %12.0f q/h\n", d, r.QueriesPerHour)
+		metric(fmt.Sprintf("%s/queries_per_hour", d), r.QueriesPerHour)
 	}
 	if base, ok := results[exp.DesignHDDSSD]; ok {
 		if cust, ok := results[exp.DesignCustom]; ok {
@@ -448,13 +490,21 @@ func tpcc() error {
 				return err
 			}
 			fmt.Printf("  %-22s %14.0f %12v\n", d, r.Throughput, r.MeanLat.Round(time.Microsecond))
+			key := fmt.Sprintf("%s/%s", label, d)
+			metric(key+"/tx_per_sec", r.Throughput)
+			metricDur(key+"/mean_lat_ms", r.MeanLat)
 		}
 	}
 	return nil
 }
 
 func fig24() error {
-	pts, err := exp.RunFig24LocalMemorySweep(*seed)
+	prm := exp.DefaultFig24Params()
+	if *quick {
+		prm.MemsMB = []int64{16, 128}
+		prm.Measure = 400 * time.Millisecond
+	}
+	pts, err := exp.RunFig24LocalMemorySweep(*seed, prm)
 	if err != nil {
 		return err
 	}
@@ -467,7 +517,14 @@ func fig24() error {
 }
 
 func fig25() error {
-	pts, err := exp.RunFig25MultiDBRangeScan(*seed)
+	prm := exp.DefaultFig25Params()
+	if *quick {
+		prm.Rows = 80000
+		prm.Clients = 20
+		prm.Warmup = 150 * time.Millisecond
+		prm.Measure = 500 * time.Millisecond
+	}
+	pts, err := exp.RunFig25MultiDBRangeScan(*seed, prm)
 	if err != nil {
 		return err
 	}
@@ -573,5 +630,57 @@ func faults() error {
 	fmt.Printf("  metastore timeouts while partitioned: %d\n", res.Timeouts)
 	fmt.Printf("  engine-visible query errors: %d\n", res.Errors)
 	fmt.Printf("  recovered=%v bpext-healthy=%v\n", res.Recovered, res.ExtHealthy)
+	metric("healthy_queries_per_sec", res.Healthy)
+	metric("during_queries_per_sec", res.During)
+	metric("after_queries_per_sec", res.After)
+	metric("lost_stripes", float64(res.Lost))
+	metric("restripes", float64(res.Restripes))
+	metric("salvages", float64(res.Salvages))
+	metric("metastore_timeouts", float64(res.Timeouts))
+	metric("errors", float64(res.Errors))
+	return nil
+}
+
+func scrub() error {
+	fmt.Println("Scrub (Custom design, 2-way replicated + checksummed striping):")
+	fmt.Println("a storm of bit flips, torn writes, and stale-replica resurrections")
+	fmt.Println("poked into donor memory mid-RangeScan, then a full-file primary")
+	fmt.Println("revocation storm. Every corruption must be detected and repaired")
+	fmt.Println("from a replica; the revocations must need no salvage.")
+	prm := exp.DefaultScrubParams()
+	if *quick {
+		prm.Rows = 40000
+		prm.Clients = 8
+		prm.Window = 120 * time.Millisecond
+	}
+	res, err := exp.RunScrub(*seed, prm)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  corruption storm: injected=%d detected=%d repaired=%d failovers=%d\n",
+		res.Injected, res.Detected, res.Repaired, res.Failovers)
+	fmt.Printf("  scrubber: sweeps=%d frames-verified=%d poisoned=%d\n",
+		res.ScrubSweeps, res.ScrubChecked, res.Poisoned)
+	fmt.Printf("  engine-visible errors: %d   throughput=%.0f q/s  mean=%v p95=%v\n",
+		res.Errors, res.Throughput, res.MeanLat.Round(time.Microsecond), res.P95Lat.Round(time.Microsecond))
+	fmt.Printf("  revocation storm: stripes=%d replica-rebuilds=%d salvages=%d lost=%d errors=%d healthy=%v\n",
+		res.StormStripes, res.ReplicaRepairs, res.Salvages, res.LostStripes,
+		res.StormErrors, res.StormHealthy)
+	metric("injected", float64(res.Injected))
+	metric("detected", float64(res.Detected))
+	metric("repaired", float64(res.Repaired))
+	metric("failovers", float64(res.Failovers))
+	metric("scrub_sweeps", float64(res.ScrubSweeps))
+	metric("scrub_checked", float64(res.ScrubChecked))
+	metric("poisoned", float64(res.Poisoned))
+	metric("errors", float64(res.Errors))
+	metric("queries_per_sec", res.Throughput)
+	metricDur("mean_lat_ms", res.MeanLat)
+	metricDur("p95_lat_ms", res.P95Lat)
+	metric("storm_stripes", float64(res.StormStripes))
+	metric("replica_rebuilds", float64(res.ReplicaRepairs))
+	metric("storm_salvages", float64(res.Salvages))
+	metric("storm_lost_stripes", float64(res.LostStripes))
+	metric("storm_errors", float64(res.StormErrors))
 	return nil
 }

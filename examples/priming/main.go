@@ -18,7 +18,9 @@ import (
 )
 
 func main() {
-	res, err := exp.RunFig16Priming(1, []int64{10, 20})
+	prm := exp.DefaultFig16Params()
+	prm.BPSizesMB = []int64{10, 20}
+	res, err := exp.RunFig16Priming(1, prm)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -184,6 +184,16 @@ func (b *Broker) revoke(id LeaseID) {
 // Request grants n leases of whole MRs, placed per policy. All MRs in one
 // grant have the pool's fixed size.
 func (b *Broker) Request(p *sim.Proc, holder string, n int, place Placement) ([]*Lease, error) {
+	return b.RequestAvoiding(p, holder, n, place, nil)
+}
+
+// RequestAvoiding grants like Request but never places an MR on a donor
+// server named in avoid. This is the replica anti-affinity primitive:
+// the file layer passes the donors already backing a stripe's other
+// replicas, so no two replicas of one stripe ever share a failure
+// domain. Under donor scarcity (every eligible donor avoided or empty)
+// it fails with ErrNoMemory rather than weakening the constraint.
+func (b *Broker) RequestAvoiding(p *sim.Proc, holder string, n int, place Placement, avoid map[string]bool) ([]*Lease, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -191,8 +201,10 @@ func (b *Broker) Request(p *sim.Proc, holder string, n int, place Placement) ([]
 	total := 0
 	for _, px := range b.proxies {
 		if !px.failed {
-			avail += px.Pool.FreeCount()
 			total += px.Pool.TotalCount()
+			if !avoid[px.Server.Name] {
+				avail += px.Pool.FreeCount()
+			}
 		}
 	}
 	if avail < n {
@@ -218,14 +230,14 @@ func (b *Broker) Request(p *sim.Proc, holder string, n int, place Placement) ([]
 			for tries := 0; tries < len(b.proxies); tries++ {
 				cand := b.proxies[b.rrIdx%len(b.proxies)]
 				b.rrIdx++
-				if !cand.failed && cand.Pool.FreeCount() > 0 {
+				if !cand.failed && !avoid[cand.Server.Name] && cand.Pool.FreeCount() > 0 {
 					px = cand
 					break
 				}
 			}
 		default:
 			for _, cand := range b.proxies {
-				if !cand.failed && cand.Pool.FreeCount() > 0 {
+				if !cand.failed && !avoid[cand.Server.Name] && cand.Pool.FreeCount() > 0 {
 					px = cand
 					break
 				}

@@ -271,3 +271,61 @@ func TestFairShareCap(t *testing.T) {
 	})
 	k.Run(0)
 }
+
+// Anti-affinity: RequestAvoiding must never place a lease on an avoided
+// donor, and under donor scarcity it must refuse rather than violate
+// the constraint — free MRs on an avoided server do not count.
+func TestRequestAvoidingSkipsDonors(t *testing.T) {
+	harness(t, 3, 2, func(p *sim.Proc, b *Broker, servers []*cluster.Server, _ []*Proxy) {
+		avoid := map[string]bool{servers[0].Name: true}
+		leases, err := b.RequestAvoiding(p, "db1", 4, PlaceSpread, avoid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, l := range leases {
+			if avoid[l.MR.Owner.Name] {
+				t.Fatalf("lease placed on avoided donor %s", l.MR.Owner.Name)
+			}
+		}
+		if b.FreeMRs() != 2 {
+			t.Fatalf("free=%d, want 2 (the avoided donor untouched)", b.FreeMRs())
+		}
+	})
+}
+
+func TestRequestAvoidingScarcityRefuses(t *testing.T) {
+	harness(t, 2, 2, func(p *sim.Proc, b *Broker, servers []*cluster.Server, _ []*Proxy) {
+		// Exhaust the allowed donor.
+		if _, err := b.RequestAvoiding(p, "db1", 2, PlacePack,
+			map[string]bool{servers[0].Name: true}); err != nil {
+			t.Fatal(err)
+		}
+		// Only the avoided donor has free MRs left: the request must
+		// refuse, not fall back onto it.
+		_, err := b.RequestAvoiding(p, "db1", 1, PlacePack,
+			map[string]bool{servers[0].Name: true})
+		if err != ErrNoMemory {
+			t.Fatalf("err = %v, want ErrNoMemory", err)
+		}
+		if b.FreeMRs() != 2 {
+			t.Fatalf("free=%d, want 2 (no lease leaked)", b.FreeMRs())
+		}
+		// Dropping the constraint makes the same request succeed.
+		leases, err := b.RequestAvoiding(p, "db1", 1, PlacePack, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if leases[0].MR.Owner != servers[0] {
+			t.Fatal("unconstrained request should use the remaining donor")
+		}
+	})
+}
+
+func TestRequestAvoidingAllDonorsRefuses(t *testing.T) {
+	harness(t, 2, 4, func(p *sim.Proc, b *Broker, servers []*cluster.Server, _ []*Proxy) {
+		avoid := map[string]bool{servers[0].Name: true, servers[1].Name: true}
+		if _, err := b.RequestAvoiding(p, "db1", 1, PlaceSpread, avoid); err != ErrNoMemory {
+			t.Fatalf("err = %v, want ErrNoMemory with every donor avoided", err)
+		}
+	})
+}

@@ -6,9 +6,12 @@
 // lease metadata survives a broker crash, and a new broker can be
 // elected and pick the state up.
 //
-// Replication is not modelled (DESIGN.md §2): within the simulation the
-// store is a single linearizable object whose operations charge a small
-// RPC cost, which preserves the semantics the paper depends on.
+// The ensemble's internal consensus replication is abstracted away
+// (DESIGN.md §2): within the simulation the store is a single
+// linearizable object whose operations charge a small RPC cost, which
+// preserves the semantics the paper depends on. Replication of the
+// *data* plane — K-way replicated striping of remote-memory files — is
+// modelled in internal/core (see DESIGN.md's fault-tolerance section).
 package metastore
 
 import (

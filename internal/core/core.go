@@ -8,7 +8,7 @@
 // The abstraction is deliberately best-effort (Section 4.1.5): remote
 // memory is elastic and unreliable, so leases expire under donor memory
 // pressure and whole memory servers vanish. The FS survives this in
-// three layers:
+// four layers:
 //
 //  1. lease renewal retries transient metastore/broker failures with
 //     exponential backoff + jitter (fault.RetryPolicy);
@@ -17,12 +17,20 @@
 //     leases a replacement MR and restripes the file;
 //  3. a per-file Salvage callback repopulates the lost stripe (the
 //     buffer-pool extension drops the clean pages it cached there; the
-//     semantic cache REDOes the structure from the WAL, §6.3).
+//     semantic cache REDOes the structure from the WAL, §6.3);
+//  4. optionally (see Config.Integrity / Config.Replication and
+//     integrity.go) every remote block carries a CRC-32C + generation
+//     frame verified on read, stripes are replicated K ways across
+//     distinct donors, reads fail over to a healthy replica on
+//     corruption or revocation with no salvage and no degraded window,
+//     and a background scrubber sweeps for latent corruption.
 //
 // Only when recovery is disabled, or re-leasing fails past the retry
 // budget, does the file turn permanently Unavailable and the consumer
 // falls back to disk for good. No correctness ever depends on remote
-// memory.
+// memory: without integrity frames a failure is always announced
+// (revocation), and with them even silent bit flips, torn writes, and
+// stale buffers are detected before any byte reaches the engine.
 package core
 
 import (
@@ -33,6 +41,7 @@ import (
 	"remotedb/internal/broker"
 	"remotedb/internal/fault"
 	"remotedb/internal/hw/nic"
+	"remotedb/internal/metrics"
 	"remotedb/internal/rmem"
 	"remotedb/internal/sim"
 	"remotedb/internal/vfs"
@@ -67,6 +76,22 @@ type FS struct {
 	// unavailable. Surviving stripes stay readable meanwhile.
 	Recover bool
 
+	// Integrity frames every logical block with a CRC-32C checksum and a
+	// generation stamp, verified on every read (see integrity.go).
+	Integrity bool
+
+	// BlockSize is the integrity/scrub granularity in bytes (default
+	// 4096). Only meaningful with Integrity on.
+	BlockSize int
+
+	// Replication stripes each file over K replicas on distinct donors;
+	// values above 1 force Integrity (reads must verify to fail over).
+	Replication int
+
+	// ScrubEvery starts a per-file background scrubber sweeping one
+	// stripe per tick at this cadence (0 disables). Requires Integrity.
+	ScrubEvery time.Duration
+
 	// Retry is the backoff policy for transient broker/metastore
 	// failures during renewal and re-leasing.
 	Retry fault.RetryPolicy
@@ -78,10 +103,19 @@ type FS struct {
 	files map[string]*File
 
 	// Fault-tolerance counters (virtual-time observability).
-	Restripes    int64 // stripes successfully re-leased
+	Restripes    int64 // stripes (all replicas) successfully re-leased
 	Salvages     int64 // salvage callbacks run to completion
 	RenewRetries int64 // renewal attempts beyond the first, per RPC
-	LostStripes  int64 // stripe-loss events detected
+	LostStripes  int64 // whole-stripe-loss events (every replica gone)
+
+	// Integrity / replication counters (see integrity.go). Counter.N is
+	// the event count, Counter.Bytes the logical bytes involved.
+	Failovers      metrics.Counter // reads served past a bad/lost replica
+	Corruptions    metrics.Counter // blocks that failed verification
+	Repairs        metrics.Counter // corrupt replica blocks rewritten from a good copy
+	ScrubChecked   metrics.Counter // blocks verified clean by scrubbers
+	ReplicaRepairs int64           // replicas re-leased and rebuilt from a peer (no salvage)
+	ScrubSweeps    int64           // stripe sweeps completed by scrubbers
 }
 
 // Config parameterizes an FS.
@@ -93,6 +127,14 @@ type Config struct {
 
 	// Recover enables re-lease/restripe recovery (see FS.Recover).
 	Recover bool
+	// Integrity enables checksummed block frames (see FS.Integrity).
+	Integrity bool
+	// BlockSize is the integrity granularity (see FS.BlockSize).
+	BlockSize int
+	// Replication is the per-stripe replica count (see FS.Replication).
+	Replication int
+	// ScrubEvery is the background scrubber cadence (see FS.ScrubEvery).
+	ScrubEvery time.Duration
 	// Retry is the transient-failure backoff policy (see FS.Retry).
 	Retry fault.RetryPolicy
 	// Salvage is the FS-wide default salvage callback (see
@@ -100,7 +142,8 @@ type Config struct {
 	Salvage Salvage
 }
 
-// DefaultConfig is the paper's Custom design with recovery on.
+// DefaultConfig is the paper's Custom design with recovery on and the
+// integrity layer off (the paper's bare best-effort contract).
 func DefaultConfig() Config {
 	return Config{
 		Protocol:  nic.ProtoRDMA,
@@ -115,6 +158,17 @@ func DefaultConfig() Config {
 // NewFS creates a remote file system client on the database server that
 // owns client. The client's staging buffers are registered here.
 func NewFS(p *sim.Proc, b *broker.Broker, client *rmem.Client, cfg Config) *FS {
+	if cfg.Replication > 1 {
+		// Failover needs verification to tell a good replica from a bad
+		// one, so replication implies integrity frames.
+		cfg.Integrity = true
+	}
+	if cfg.Replication < 1 {
+		cfg.Replication = 1
+	}
+	if cfg.Integrity && cfg.BlockSize <= 0 {
+		cfg.BlockSize = DefaultBlockSize
+	}
 	return &FS{
 		Broker:         b,
 		Client:         client,
@@ -122,19 +176,25 @@ func NewFS(p *sim.Proc, b *broker.Broker, client *rmem.Client, cfg Config) *FS {
 		Placement:      cfg.Placement,
 		AutoRenew:      cfg.AutoRenew,
 		Recover:        cfg.Recover,
+		Integrity:      cfg.Integrity,
+		BlockSize:      cfg.BlockSize,
+		Replication:    cfg.Replication,
+		ScrubEvery:     cfg.ScrubEvery,
 		Retry:          cfg.Retry,
 		DefaultSalvage: cfg.Salvage,
 		files:          make(map[string]*File),
 	}
 }
 
-// File is a remote-memory file (vfs.File) striped over leased MRs.
+// File is a remote-memory file (vfs.File) striped over leased MRs, K
+// replica leases per stripe (K is 1 unless FS.Replication raises it).
 type File struct {
-	fs     *FS
-	name   string
-	size   int64
-	mrSize int64
-	leases []*broker.Lease
+	fs        *FS
+	name      string
+	size      int64
+	mrSize    int64             // physical bytes of each leased MR
+	stripeCap int64             // logical bytes per stripe (== mrSize unless framed)
+	leases    [][]*broker.Lease // [stripe][replica]
 
 	open        bool
 	closed      bool
@@ -142,9 +202,18 @@ type File struct {
 	unavailable bool // terminal: recovery disabled or re-lease failed
 	renewStop   bool
 
-	down      []bool // per-stripe: lease lost, replacement not yet in place
-	repairing []bool // per-stripe: a repair process is running
+	down      [][]bool // [stripe][replica]: lease lost, replacement not in place
+	repairing [][]bool // [stripe][replica]: a repair process is running
 	salvage   Salvage
+
+	// Integrity state (nil/empty unless FS.Integrity): the expected
+	// generation of every logical block (0 = never written; reads serve
+	// zeros without touching remote memory) and the blocks for which no
+	// verifiable copy survives (reads fail with vfs.ErrCorrupt until
+	// overwritten).
+	gens        []uint64
+	poisoned    map[int64]bool
+	scrubCursor int
 
 	connected map[string]bool
 
@@ -166,9 +235,15 @@ var (
 // request leases n MRs, retrying transient broker failures per the FS
 // retry policy.
 func (fs *FS) request(p *sim.Proc, n int) ([]*broker.Lease, error) {
+	return fs.requestAvoiding(p, n, nil)
+}
+
+// requestAvoiding leases n MRs placed on no donor named in avoid (the
+// replica anti-affinity constraint), retrying transient failures.
+func (fs *FS) requestAvoiding(p *sim.Proc, n int, avoid map[string]bool) ([]*broker.Lease, error) {
 	var out []*broker.Lease
 	err := fault.Retry(p, fs.Retry, func() error {
-		leases, err := fs.Broker.Request(p, fs.Client.Server.Name, n, fs.Placement)
+		leases, err := fs.Broker.RequestAvoiding(p, fs.Client.Server.Name, n, fs.Placement, avoid)
 		if err != nil {
 			return err
 		}
@@ -178,8 +253,21 @@ func (fs *FS) request(p *sim.Proc, n int) ([]*broker.Lease, error) {
 	return out, err
 }
 
-// Create leases remote MRs backing a file of the given size. The file
-// still needs Open before I/O.
+// donorSet collects the donor servers of the given leases, for use as an
+// anti-affinity avoid set.
+func donorSet(leases []*broker.Lease) map[string]bool {
+	avoid := make(map[string]bool, len(leases))
+	for _, l := range leases {
+		if l != nil {
+			avoid[l.MR.Owner.Name] = true
+		}
+	}
+	return avoid
+}
+
+// Create leases remote MRs backing a file of the given size — K MRs per
+// stripe on distinct donors when replication is on. The file still needs
+// Open before I/O.
 func (fs *FS) Create(p *sim.Proc, name string, size int64) (*File, error) {
 	if _, dup := fs.files[name]; dup {
 		return nil, ErrExists
@@ -192,32 +280,81 @@ func (fs *FS) Create(p *sim.Proc, name string, size int64) (*File, error) {
 		return nil, fmt.Errorf("%w: %w", ErrNoLeases, err)
 	}
 	mrSize := int64(probe[0].MR.Size())
-	need := int((size + mrSize - 1) / mrSize)
-	leases := probe
-	if need > 1 {
-		more, err := fs.request(p, need-1)
-		if err != nil {
+	stripeCap := mrSize
+	if fs.Integrity {
+		stripeCap = StripeCapacity(int(mrSize), fs.BlockSize)
+		if stripeCap <= 0 {
 			fs.Broker.Release(p, probe[0])
-			return nil, fmt.Errorf("%w: %w", ErrNoLeases, err)
+			return nil, fmt.Errorf("core: MR size %d cannot hold one %d-byte framed block", mrSize, fs.BlockSize)
 		}
-		leases = append(leases, more...)
+	}
+	k := fs.Replication
+	if k < 1 {
+		k = 1
+	}
+	need := int((size + stripeCap - 1) / stripeCap)
+	releaseAll := func(stripes [][]*broker.Lease) {
+		for _, reps := range stripes {
+			for _, l := range reps {
+				if l != nil {
+					fs.Broker.Release(p, l)
+				}
+			}
+		}
+	}
+	leases := make([][]*broker.Lease, need)
+	for s := range leases {
+		leases[s] = make([]*broker.Lease, k)
+	}
+	leases[0][0] = probe[0]
+	for s := 0; s < need; s++ {
+		for r := 0; r < k; r++ {
+			if leases[s][r] != nil {
+				continue
+			}
+			var avoid map[string]bool
+			if r > 0 {
+				avoid = donorSet(leases[s][:r])
+			}
+			got, err := fs.requestAvoiding(p, 1, avoid)
+			if err != nil {
+				releaseAll(leases)
+				return nil, fmt.Errorf("%w: %w", ErrNoLeases, err)
+			}
+			leases[s][r] = got[0]
+		}
 	}
 	f := &File{
 		fs:        fs,
 		name:      name,
 		size:      size,
 		mrSize:    mrSize,
+		stripeCap: stripeCap,
 		leases:    leases,
-		down:      make([]bool, len(leases)),
-		repairing: make([]bool, len(leases)),
+		down:      makeGrid(need, k),
+		repairing: makeGrid(need, k),
 		salvage:   fs.DefaultSalvage,
 		connected: make(map[string]bool),
+	}
+	if fs.Integrity {
+		f.gens = make([]uint64, (size+int64(fs.BlockSize)-1)/int64(fs.BlockSize))
 	}
 	fs.files[name] = f
 	if fs.AutoRenew {
 		p.Kernel().Go("lease-renew:"+name, f.renewLoop)
 	}
+	if fs.ScrubEvery > 0 && fs.Integrity {
+		p.Kernel().Go("scrub:"+name, f.scrubLoop)
+	}
 	return f, nil
+}
+
+func makeGrid(stripes, k int) [][]bool {
+	g := make([][]bool, stripes)
+	for i := range g {
+		g[i] = make([]bool, k)
+	}
+	return g
 }
 
 // Lookup returns a created file without opening connections (used by
@@ -241,15 +378,20 @@ func (f *File) OpenConn(p *sim.Proc) error {
 	if f.closed || f.deleted {
 		return vfs.ErrClosed
 	}
-	for _, l := range f.leases {
-		server := l.MR.Owner.Name
-		if !f.connected[server] {
-			p.Sleep(ConnectCost)
-			f.connected[server] = true
+	for _, reps := range f.leases {
+		for _, l := range reps {
+			f.connect(p, l.MR.Owner.Name)
 		}
 	}
 	f.open = true
 	return nil
+}
+
+func (f *File) connect(p *sim.Proc, server string) {
+	if !f.connected[server] {
+		p.Sleep(ConnectCost)
+		f.connected[server] = true
+	}
 }
 
 // CloseAll closes every file of this FS (stopping lease-renewal
@@ -271,8 +413,10 @@ func (fs *FS) Delete(p *sim.Proc, name string) error {
 	f.deleted = true
 	f.open = false
 	f.renewStop = true
-	for _, l := range f.leases {
-		fs.Broker.Release(p, l)
+	for _, reps := range f.leases {
+		for _, l := range reps {
+			fs.Broker.Release(p, l)
+		}
 	}
 	delete(fs.files, name)
 	return nil
@@ -285,7 +429,7 @@ func (f *File) SetSalvage(fn Salvage) { f.salvage = fn }
 
 // renewLoop keeps the file's leases alive until stopped, retrying
 // transient failures with backoff and handing truly lost leases to the
-// restripe path.
+// repair path.
 func (f *File) renewLoop(p *sim.Proc) {
 	interval := f.fs.Broker.LeaseTTL() / 2
 	for {
@@ -293,91 +437,145 @@ func (f *File) renewLoop(p *sim.Proc) {
 		if f.renewStop || f.deleted {
 			return
 		}
-		for i := range f.leases {
-			if f.down[i] || f.repairing[i] {
-				continue
-			}
-			l := f.leases[i]
-			attempts := 0
-			err := fault.Retry(p, f.fs.Retry, func() error {
-				attempts++
-				return f.fs.Broker.Renew(p, l)
-			})
-			if attempts > 1 {
-				f.fs.RenewRetries += int64(attempts - 1)
-			}
-			if f.renewStop || f.deleted {
-				return
-			}
-			if err != nil {
-				// Retries exhausted or the lease is revoked/expired:
-				// either way this stripe's region must be replaced.
-				f.stripeLost(p, i)
-				if f.unavailable {
+		for s := range f.leases {
+			for r := range f.leases[s] {
+				if f.down[s][r] || f.repairing[s][r] {
+					continue
+				}
+				l := f.leases[s][r]
+				attempts := 0
+				err := fault.Retry(p, f.fs.Retry, func() error {
+					attempts++
+					return f.fs.Broker.Renew(p, l)
+				})
+				if attempts > 1 {
+					f.fs.RenewRetries += int64(attempts - 1)
+				}
+				if f.renewStop || f.deleted {
 					return
+				}
+				if err != nil {
+					// Retries exhausted or the lease is revoked/expired:
+					// either way this replica's region must be replaced.
+					f.replicaLost(p, s, r)
+					if f.unavailable {
+						return
+					}
 				}
 			}
 		}
 	}
 }
 
-// stripeLost transitions stripe idx into degraded mode and starts the
-// background repair, or — when recovery is disabled — turns the whole
-// file unavailable (the pre-recovery best-effort contract).
-func (f *File) stripeLost(p *sim.Proc, idx int) {
+// replicaLost handles the loss of one replica of stripe s. With a
+// surviving replica the file keeps serving with no degraded window and a
+// background process rebuilds the lost replica from a peer (no salvage).
+// When every replica is gone the stripe takes the legacy degraded-mode
+// path: re-lease, salvage, or — with recovery disabled — permanent
+// unavailability.
+func (f *File) replicaLost(p *sim.Proc, s, r int) {
 	if f.closed || f.deleted || f.unavailable {
 		return
 	}
+	if f.down[s][r] || f.repairing[s][r] {
+		return // already being handled
+	}
+	f.down[s][r] = true
+	if f.healthyReplicas(s) > 0 {
+		if !f.fs.Recover {
+			return // keep serving from survivors; factor stays reduced
+		}
+		f.repairing[s][r] = true
+		name := fmt.Sprintf("replica-repair:%s:%d.%d", f.name, s, r)
+		p.Kernel().Go(name, func(rp *sim.Proc) { f.repairReplica(rp, s, r) })
+		return
+	}
+	// Whole stripe gone.
 	if !f.fs.Recover {
 		f.unavailable = true
 		return
 	}
-	if f.down[idx] || f.repairing[idx] {
-		return // already being handled
-	}
 	f.fs.LostStripes++
-	f.down[idx] = true
-	f.repairing[idx] = true
-	name := fmt.Sprintf("restripe:%s:%d", f.name, idx)
-	p.Kernel().Go(name, func(rp *sim.Proc) { f.repairStripe(rp, idx) })
+	for i := range f.down[s] {
+		f.down[s][i] = true
+		f.repairing[s][i] = true
+	}
+	name := fmt.Sprintf("restripe:%s:%d", f.name, s)
+	p.Kernel().Go(name, func(rp *sim.Proc) { f.repairStripe(rp, s) })
 }
 
-// repairStripe leases a replacement MR for stripe idx (retrying with
-// backoff), swaps it into the stripe table, and runs the salvage
+// healthyReplicas counts stripe s replicas not currently down.
+func (f *File) healthyReplicas(s int) int {
+	n := 0
+	for r := range f.down[s] {
+		if !f.down[s][r] {
+			n++
+		}
+	}
+	return n
+}
+
+// repairStripe re-leases every replica of stripe s (retrying with
+// backoff), swaps them into the stripe table, and runs the salvage
 // callback to repopulate the range. If re-leasing fails past the retry
 // budget the file turns permanently unavailable.
-func (f *File) repairStripe(p *sim.Proc, idx int) {
-	defer func() { f.repairing[idx] = false }()
-	leases, err := f.fs.request(p, 1)
-	if f.closed || f.deleted {
-		if err == nil {
-			f.fs.Broker.Release(p, leases[0])
+func (f *File) repairStripe(p *sim.Proc, s int) {
+	defer func() {
+		for r := range f.repairing[s] {
+			f.repairing[s][r] = false
 		}
-		return
+	}()
+	k := len(f.leases[s])
+	fresh := make([]*broker.Lease, 0, k)
+	releaseFresh := func() {
+		for _, l := range fresh {
+			f.fs.Broker.Release(p, l)
+		}
 	}
-	if err != nil {
-		f.unavailable = true
-		return
+	for r := 0; r < k; r++ {
+		got, err := f.fs.requestAvoiding(p, 1, donorSet(fresh))
+		if f.closed || f.deleted {
+			if err == nil {
+				fresh = append(fresh, got[0])
+			}
+			releaseFresh()
+			return
+		}
+		if err != nil {
+			releaseFresh()
+			f.unavailable = true
+			return
+		}
+		l := got[0]
+		if int64(l.MR.Size()) != f.mrSize {
+			// Replacement pools must match the stripe geometry; a mismatch
+			// means the cluster was reconfigured under us.
+			f.fs.Broker.Release(p, l)
+			releaseFresh()
+			f.unavailable = true
+			return
+		}
+		fresh = append(fresh, l)
 	}
-	l := leases[0]
-	if int64(l.MR.Size()) != f.mrSize {
-		// Replacement pools must match the stripe geometry; a mismatch
-		// means the cluster was reconfigured under us.
-		f.fs.Broker.Release(p, l)
-		f.unavailable = true
-		return
+	for r := 0; r < k; r++ {
+		f.connect(p, fresh[r].MR.Owner.Name)
+		f.leases[s][r] = fresh[r]
+		f.down[s][r] = false
 	}
-	server := l.MR.Owner.Name
-	if !f.connected[server] {
-		p.Sleep(ConnectCost)
-		f.connected[server] = true
+	if f.fs.Integrity {
+		// The replacement MRs are zeroed: reset the range's generations
+		// (reads serve zeros again) and clear any poison — the loss is
+		// announced below via salvage, not silent.
+		lo, hi := f.stripeBlockRange(s)
+		for g := lo; g < hi; g++ {
+			f.gens[g] = 0
+			delete(f.poisoned, g)
+		}
 	}
-	f.leases[idx] = l
-	f.down[idx] = false
 	f.fs.Restripes++
 	if f.salvage != nil {
-		off := int64(idx) * f.mrSize
-		n := f.mrSize
+		off := int64(s) * f.stripeCap
+		n := f.stripeCap
 		if off+n > f.size {
 			n = f.size - off
 		}
@@ -397,12 +595,15 @@ func (f *File) Size() int64 { return f.size }
 // (recovery disabled, or a replacement lease could not be obtained).
 func (f *File) Unavailable() bool { return f.unavailable }
 
-// Degraded reports whether any stripe is currently lost and awaiting
-// repair; reads of the surviving stripes still succeed.
+// Degraded reports whether any replica is currently lost or under
+// repair. With replication this no longer implies failing reads — a
+// stripe with one healthy replica serves normally.
 func (f *File) Degraded() bool {
-	for i := range f.down {
-		if f.down[i] || f.repairing[i] {
-			return true
+	for s := range f.down {
+		for r := range f.down[s] {
+			if f.down[s][r] || f.repairing[s][r] {
+				return true
+			}
 		}
 	}
 	return false
@@ -411,12 +612,31 @@ func (f *File) Degraded() bool {
 // Stripes returns the stripe count.
 func (f *File) Stripes() int { return len(f.leases) }
 
-// LeaseIDs returns the IDs of the leases currently backing the file, in
-// stripe order. Fault-injection uses them to revoke specific stripes.
+// Replicas returns the per-stripe replica count.
+func (f *File) Replicas() int {
+	if len(f.leases) == 0 {
+		return 0
+	}
+	return len(f.leases[0])
+}
+
+// LeaseIDs returns the IDs of the primary-replica leases backing the
+// file, in stripe order. Fault-injection uses them to revoke specific
+// stripes.
 func (f *File) LeaseIDs() []broker.LeaseID {
 	out := make([]broker.LeaseID, len(f.leases))
-	for i, l := range f.leases {
-		out[i] = l.ID
+	for s, reps := range f.leases {
+		out[s] = reps[0].ID
+	}
+	return out
+}
+
+// StripeServers returns the donor servers of stripe s's replicas, in
+// replica order (the anti-affinity invariant says they are distinct).
+func (f *File) StripeServers(s int) []string {
+	out := make([]string, len(f.leases[s]))
+	for r, l := range f.leases[s] {
+		out[r] = l.MR.Owner.Name
 	}
 	return out
 }
@@ -425,11 +645,13 @@ func (f *File) LeaseIDs() []broker.LeaseID {
 func (f *File) Servers() []string {
 	seen := make(map[string]bool)
 	var out []string
-	for _, l := range f.leases {
-		name := l.MR.Owner.Name
-		if !seen[name] {
-			seen[name] = true
-			out = append(out, name)
+	for _, reps := range f.leases {
+		for _, l := range reps {
+			name := l.MR.Owner.Name
+			if !seen[name] {
+				seen[name] = true
+				out = append(out, name)
+			}
 		}
 	}
 	return out
@@ -458,7 +680,8 @@ func (f *File) stripeErr(idx int) error {
 }
 
 // access splits the range [off, off+len(b)) across MRs and issues one
-// transfer per fragment. A fragment on a lost stripe fails with a
+// transfer per fragment — the legacy unframed path (FS.Integrity off,
+// single replica). A fragment on a lost stripe fails with a
 // degraded-mode error (wrapping vfs.ErrUnavailable) and triggers repair;
 // fragments on healthy stripes are unaffected.
 func (f *File) access(p *sim.Proc, b []byte, off int64, write bool) error {
@@ -472,12 +695,12 @@ func (f *File) access(p *sim.Proc, b []byte, off int64, write bool) error {
 		if n > int64(len(b)) {
 			n = int64(len(b))
 		}
-		if f.down[idx] {
+		if f.down[idx][0] {
 			return f.stripeErr(int(idx))
 		}
-		l := f.leases[idx]
+		l := f.leases[idx][0]
 		if !l.Valid(p.Now()) {
-			f.stripeLost(p, int(idx))
+			f.replicaLost(p, int(idx), 0)
 			if f.unavailable {
 				return vfs.ErrUnavailable
 			}
@@ -491,7 +714,7 @@ func (f *File) access(p *sim.Proc, b []byte, off int64, write bool) error {
 		}
 		if err != nil {
 			if errors.Is(err, rmem.ErrRevoked) {
-				f.stripeLost(p, int(idx))
+				f.replicaLost(p, int(idx), 0)
 				if f.unavailable {
 					return vfs.ErrUnavailable
 				}
@@ -510,18 +733,30 @@ func (f *File) access(p *sim.Proc, b []byte, off int64, write bool) error {
 	return nil
 }
 
-// ReadAt reads len(b) bytes at off via RDMA.
+// ReadAt reads len(b) bytes at off via RDMA, verifying integrity frames
+// when the FS has them enabled.
 func (f *File) ReadAt(p *sim.Proc, b []byte, off int64) error {
-	err := f.access(p, b, off, false)
+	var err error
+	if f.fs.Integrity {
+		err = f.framedAccess(p, b, off, false)
+	} else {
+		err = f.access(p, b, off, false)
+	}
 	if err == nil {
 		f.BytesRead += int64(len(b))
 	}
 	return err
 }
 
-// WriteAt writes b at off via RDMA.
+// WriteAt writes b at off via RDMA, sealing integrity frames and
+// fanning out to every replica when the FS has them enabled.
 func (f *File) WriteAt(p *sim.Proc, b []byte, off int64) error {
-	err := f.access(p, b, off, true)
+	var err error
+	if f.fs.Integrity {
+		err = f.framedAccess(p, b, off, true)
+	} else {
+		err = f.access(p, b, off, true)
+	}
 	if err == nil {
 		f.Written += int64(len(b))
 	}

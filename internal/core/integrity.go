@@ -1,0 +1,591 @@
+// Remote-block integrity, K-way replica failover, and the background
+// scrubber — the silent-failure defense layer of the file API.
+//
+// The paper's best-effort contract (§4.1.5) only covers *announced*
+// failures: a revoked lease returns an error, so no correctness can
+// depend on remote memory. A bit flip on the donor, a torn RDMA write,
+// or a resurrected stale buffer, however, is served back silently. With
+// FS.Integrity on, every logical block of BlockSize bytes is stored as a
+// frame
+//
+//	[ BlockSize data | 4-byte CRC-32C | 8-byte generation ]
+//
+// sealed on write and verified on read. The CRC covers data plus
+// generation; the expected generation per block lives client-side (a
+// block's generation counts its writes, 0 = never written, served as
+// zeros without touching the wire), so a stale-but-internally-consistent
+// frame is caught by the generation stamp even though its checksum
+// matches.
+//
+// With FS.Replication = K > 1, Create leases K MRs per stripe on
+// distinct donors (broker anti-affinity), writes fan out to every
+// healthy replica, and reads verify-then-fail-over: a corrupt or revoked
+// replica is skipped, the block is served from a healthy one, and the
+// bad copy is rewritten in place (corruption) or the whole replica
+// rebuilt from a peer by a background process (revocation) — no salvage
+// callback, no degraded window. Only when every replica of a stripe is
+// gone does the legacy restripe+salvage path of core.go run.
+//
+// A block with no verifiable copy anywhere is poisoned: reads fail with
+// vfs.ErrCorrupt (never silent wrong bytes), the salvage callback is
+// invoked for the block range, and any full overwrite heals it.
+//
+// FS.ScrubEvery starts a per-file scrubber that sweeps one stripe per
+// tick, reading every written frame of every replica through the normal
+// transport (the bandwidth cost is real), repairing latent corruption
+// from a good copy, and re-kicking replica rebuilds that failed earlier.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"remotedb/internal/broker"
+	"remotedb/internal/rmem"
+	"remotedb/internal/sim"
+	"remotedb/internal/vfs"
+)
+
+// DefaultBlockSize is the integrity block granularity: half an 8 KiB
+// database page, so page I/O stays frame-aligned.
+const DefaultBlockSize = 4096
+
+// trailerSize is the per-block overhead: CRC-32C + generation.
+const trailerSize = 4 + 8
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// StripeCapacity returns the logical bytes one MR of mrBytes holds once
+// each blockSize block is framed with its trailer (blockSize <= 0 means
+// DefaultBlockSize). Sizing helpers use it to translate file sizes into
+// MR counts.
+func StripeCapacity(mrBytes, blockSize int) int64 {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	return int64(mrBytes/(blockSize+trailerSize)) * int64(blockSize)
+}
+
+// sealFrame stamps gen and the CRC-32C over data+generation into the
+// frame's trailer.
+func sealFrame(frame []byte, bs int, gen uint64) {
+	binary.LittleEndian.PutUint64(frame[bs+4:bs+trailerSize], gen)
+	crc := crc32.Checksum(frame[:bs], castagnoli)
+	crc = crc32.Update(crc, castagnoli, frame[bs+4:bs+trailerSize])
+	binary.LittleEndian.PutUint32(frame[bs:bs+4], crc)
+}
+
+// Integrity-verification failure flavors (both are "corrupt" to
+// callers; the distinction matters only for diagnostics).
+var (
+	errChecksum = errors.New("checksum mismatch")
+	errStale    = errors.New("generation mismatch (stale or torn frame)")
+)
+
+// verifyFrame checks the trailer against the data and the expected
+// generation.
+func verifyFrame(frame []byte, bs int, wantGen uint64) error {
+	crc := crc32.Checksum(frame[:bs], castagnoli)
+	crc = crc32.Update(crc, castagnoli, frame[bs+4:bs+trailerSize])
+	if crc != binary.LittleEndian.Uint32(frame[bs:bs+4]) {
+		return errChecksum
+	}
+	if got := binary.LittleEndian.Uint64(frame[bs+4 : bs+trailerSize]); got != wantGen {
+		return errStale
+	}
+	return nil
+}
+
+func (f *File) frameSize() int { return f.fs.BlockSize + trailerSize }
+
+// framesPerStripe returns how many framed blocks one stripe holds.
+func (f *File) framesPerStripe() int64 { return f.stripeCap / int64(f.fs.BlockSize) }
+
+// blockHome locates logical block g: its stripe and the frame's byte
+// offset within each replica MR.
+func (f *File) blockHome(g int64) (s int, frameOff int) {
+	fps := f.framesPerStripe()
+	return int(g / fps), int(g%fps) * f.frameSize()
+}
+
+// stripeBlockRange returns the half-open logical block range [lo, hi)
+// stored in stripe s.
+func (f *File) stripeBlockRange(s int) (lo, hi int64) {
+	fps := f.framesPerStripe()
+	lo = int64(s) * fps
+	hi = lo + fps
+	if n := int64(len(f.gens)); hi > n {
+		hi = n
+	}
+	return lo, hi
+}
+
+func (f *File) corruptErr(g int64) error {
+	return fmt.Errorf("core: block %d of %q failed integrity verification: %w", g, f.name, vfs.ErrCorrupt)
+}
+
+// framedAccess is the integrity-mode I/O path: block-at-a-time, sealed
+// on write, verified with replica failover on read.
+func (f *File) framedAccess(p *sim.Proc, b []byte, off int64, write bool) error {
+	if err := f.check(off, len(b)); err != nil {
+		return err
+	}
+	bs := int64(f.fs.BlockSize)
+	for len(b) > 0 {
+		g := off / bs
+		within := off % bs
+		n := bs - within
+		if n > int64(len(b)) {
+			n = int64(len(b))
+		}
+		var err error
+		if write {
+			err = f.writeBlock(p, g, within, b[:n])
+		} else {
+			err = f.readBlockInto(p, g, within, b[:n])
+		}
+		if err != nil {
+			return err
+		}
+		b = b[n:]
+		off += n
+	}
+	if write {
+		f.Writes++
+	} else {
+		f.Reads++
+	}
+	return nil
+}
+
+// readBlockInto serves dst from block g's logical bytes
+// [within, within+len(dst)).
+func (f *File) readBlockInto(p *sim.Proc, g, within int64, dst []byte) error {
+	if f.poisoned[g] {
+		return f.corruptErr(g)
+	}
+	if f.gens[g] == 0 {
+		// Never written (or zeroed by a restripe): serve zeros locally.
+		for i := range dst {
+			dst[i] = 0
+		}
+		return nil
+	}
+	frame := make([]byte, f.frameSize())
+	if err := f.fetchBlock(p, g, frame); err != nil {
+		return err
+	}
+	copy(dst, frame[within:within+int64(len(dst))])
+	return nil
+}
+
+// fetchBlock reads and verifies block g's frame from the first replica
+// that yields a verified copy, failing over on corruption or revocation
+// and repairing corrupt copies it passed on the way. On return with nil
+// error, frame holds a verified frame.
+func (f *File) fetchBlock(p *sim.Proc, g int64, frame []byte) error {
+	return f.fetchBlockSkip(p, g, frame, -1)
+}
+
+// fetchBlockSkip is fetchBlock excluding replica skip (the scrubber uses
+// it to find a good copy for a replica it already knows is bad).
+func (f *File) fetchBlockSkip(p *sim.Proc, g int64, frame []byte, skip int) error {
+	s, frameOff := f.blockHome(g)
+	bs := f.fs.BlockSize
+	var bad []int
+	failedOver := false
+	for r := range f.leases[s] {
+		if r == skip || f.down[s][r] {
+			continue
+		}
+		l := f.leases[s][r]
+		if !l.Valid(p.Now()) {
+			f.replicaLost(p, s, r)
+			if f.unavailable {
+				return vfs.ErrUnavailable
+			}
+			failedOver = true
+			continue
+		}
+		err := f.fs.Transport.Read(p, f.fs.Client, l.MR, frameOff, frame)
+		if err != nil {
+			if errors.Is(err, rmem.ErrRevoked) {
+				f.replicaLost(p, s, r)
+				if f.unavailable {
+					return vfs.ErrUnavailable
+				}
+				failedOver = true
+				continue
+			}
+			return err
+		}
+		if verr := verifyFrame(frame, bs, f.gens[g]); verr != nil {
+			f.fs.Corruptions.Add(1, int64(bs))
+			bad = append(bad, r)
+			failedOver = true
+			continue
+		}
+		if failedOver {
+			f.fs.Failovers.Add(1, int64(bs))
+		}
+		for _, rb := range bad {
+			f.repairBlockOn(p, g, rb, frame)
+		}
+		return nil
+	}
+	if len(bad) > 0 {
+		// Every live replica's copy failed verification: the block's
+		// data is gone. Fail loudly and let salvage repopulate.
+		f.poisonBlock(p, g)
+		return f.corruptErr(g)
+	}
+	if f.unavailable {
+		return vfs.ErrUnavailable
+	}
+	return f.stripeErr(s)
+}
+
+// repairBlockOn rewrites block g's frame on replica r from a verified
+// good copy (in-place corruption repair).
+func (f *File) repairBlockOn(p *sim.Proc, g int64, r int, goodFrame []byte) {
+	s, frameOff := f.blockHome(g)
+	if f.down[s][r] {
+		return // replica is being rebuilt wholesale
+	}
+	l := f.leases[s][r]
+	if !l.Valid(p.Now()) {
+		f.replicaLost(p, s, r)
+		return
+	}
+	err := f.fs.Transport.Write(p, f.fs.Client, l.MR, frameOff, goodFrame)
+	if errors.Is(err, rmem.ErrRevoked) {
+		f.replicaLost(p, s, r)
+		return
+	}
+	if err == nil {
+		f.fs.Repairs.Add(1, int64(f.fs.BlockSize))
+	}
+}
+
+// poisonBlock marks block g as having no verifiable copy: reads fail
+// with vfs.ErrCorrupt until a write replaces the data. The salvage
+// callback is invoked for the block range (same contract as a lost
+// stripe, at block granularity).
+func (f *File) poisonBlock(p *sim.Proc, g int64) {
+	if f.poisoned == nil {
+		f.poisoned = make(map[int64]bool)
+	}
+	if f.poisoned[g] {
+		return
+	}
+	f.poisoned[g] = true
+	if f.salvage == nil || !f.fs.Recover {
+		return
+	}
+	off := g * int64(f.fs.BlockSize)
+	n := int64(f.fs.BlockSize)
+	if off+n > f.size {
+		n = f.size - off
+	}
+	name := fmt.Sprintf("block-salvage:%s:%d", f.name, g)
+	p.Kernel().Go(name, func(sp *sim.Proc) {
+		if f.closed || f.deleted || f.unavailable {
+			return
+		}
+		if err := f.salvage(sp, f, off, n); err == nil {
+			f.fs.Salvages++
+		}
+	})
+}
+
+// writeBlock seals block g's frame (read-merge-write for partial
+// blocks) and fans it out to every healthy replica.
+func (f *File) writeBlock(p *sim.Proc, g, within int64, src []byte) error {
+	bs := f.fs.BlockSize
+	frame := make([]byte, f.frameSize())
+	partial := within != 0 || len(src) != bs
+	if partial && f.gens[g] != 0 && !f.poisoned[g] {
+		if err := f.fetchBlock(p, g, frame); err != nil {
+			return err
+		}
+	}
+	copy(frame[within:within+int64(len(src))], src)
+	newGen := f.gens[g] + 1
+	sealFrame(frame, bs, newGen)
+	s, frameOff := f.blockHome(g)
+	wrote := 0
+	for r := range f.leases[s] {
+		if f.down[s][r] {
+			continue
+		}
+		l := f.leases[s][r]
+		if !l.Valid(p.Now()) {
+			f.replicaLost(p, s, r)
+			if f.unavailable {
+				return vfs.ErrUnavailable
+			}
+			continue
+		}
+		err := f.fs.Transport.Write(p, f.fs.Client, l.MR, frameOff, frame)
+		if err != nil {
+			if errors.Is(err, rmem.ErrRevoked) {
+				f.replicaLost(p, s, r)
+				if f.unavailable {
+					return vfs.ErrUnavailable
+				}
+				continue
+			}
+			return err
+		}
+		wrote++
+	}
+	if wrote == 0 {
+		if f.unavailable {
+			return vfs.ErrUnavailable
+		}
+		return f.stripeErr(s)
+	}
+	f.gens[g] = newGen
+	// A write heals poison: the block holds fresh data now (for a
+	// partial write the unwritten remainder is zeros — the loss was
+	// already announced via error and salvage).
+	delete(f.poisoned, g)
+	return nil
+}
+
+// repairReplica rebuilds one lost replica of stripe s: lease a
+// replacement MR on a donor not already backing the stripe
+// (anti-affinity), copy every written block from the surviving replicas
+// through the verified read path, and swap it in. No salvage callback
+// runs and the file never stops serving — this is the replicated
+// counterpart of repairStripe. On failure the stripe simply stays at a
+// reduced replication factor; the scrubber re-kicks the rebuild later.
+func (f *File) repairReplica(p *sim.Proc, s, r int) {
+	defer func() { f.repairing[s][r] = false }()
+	avoid := make(map[string]bool)
+	for r2, l := range f.leases[s] {
+		if r2 != r && !f.down[s][r2] {
+			avoid[l.MR.Owner.Name] = true
+		}
+	}
+	got, err := f.fs.requestAvoiding(p, 1, avoid)
+	if f.closed || f.deleted || f.unavailable {
+		if err == nil {
+			f.fs.Broker.Release(p, got[0])
+		}
+		return
+	}
+	if err != nil {
+		return
+	}
+	l := got[0]
+	if int64(l.MR.Size()) != f.mrSize {
+		f.fs.Broker.Release(p, l)
+		return
+	}
+	f.connect(p, l.MR.Owner.Name)
+	if err := f.copyStripeTo(p, s, l); err != nil {
+		f.fs.Broker.Release(p, l)
+		return
+	}
+	if f.closed || f.deleted {
+		f.fs.Broker.Release(p, l)
+		return
+	}
+	f.leases[s][r] = l
+	f.down[s][r] = false
+	f.fs.ReplicaRepairs++
+}
+
+// copyStripeTo copies every written, unpoisoned frame of stripe s onto
+// the replacement lease, reading through the verified path (so a
+// corrupt surviving copy is caught, not propagated) and writing in runs
+// to amortize transport overhead.
+func (f *File) copyStripeTo(p *sim.Proc, s int, dst *broker.Lease) error {
+	lo, hi := f.stripeBlockRange(s)
+	fsz := int64(f.frameSize())
+	const maxRun = 32
+	scratch := make([]byte, maxRun*fsz)
+	g := lo
+	for g < hi {
+		if f.closed || f.deleted || f.unavailable {
+			return nil
+		}
+		if f.gens[g] == 0 || f.poisoned[g] {
+			g++
+			continue
+		}
+		run := int64(1)
+		for g+run < hi && run < maxRun && f.gens[g+run] != 0 && !f.poisoned[g+run] {
+			run++
+		}
+		buf := scratch[:run*fsz]
+		for i := int64(0); i < run; i++ {
+			fr := buf[i*fsz : (i+1)*fsz]
+			if err := f.fetchBlock(p, g+i, fr); err != nil {
+				if errors.Is(err, vfs.ErrCorrupt) {
+					// Just poisoned: leave the slot zeroed — reads are
+					// gated by the poison flag, never by this copy.
+					continue
+				}
+				return err
+			}
+		}
+		_, frameOff := f.blockHome(g)
+		if err := f.fs.Transport.Write(p, f.fs.Client, dst.MR, frameOff, buf); err != nil {
+			return err
+		}
+		g += run
+	}
+	return nil
+}
+
+// scrubLoop is the per-file background scrubber: every ScrubEvery it
+// sweeps the next stripe, verifying every written frame on every
+// replica and repairing what it finds (latent corruption, staleness,
+// missing replicas).
+func (f *File) scrubLoop(p *sim.Proc) {
+	for {
+		p.Sleep(f.fs.ScrubEvery)
+		if f.closed || f.deleted || f.unavailable {
+			return
+		}
+		s := f.scrubCursor % len(f.leases)
+		f.scrubCursor++
+		f.scrubStripe(p, s)
+	}
+}
+
+// scrubStripe verifies stripe s end to end on every live replica.
+func (f *File) scrubStripe(p *sim.Proc, s int) {
+	// Restore the replication factor first: a replica whose earlier
+	// rebuild failed (donor scarcity at the time) gets another chance.
+	for r := range f.down[s] {
+		if f.down[s][r] && !f.repairing[s][r] && f.fs.Recover && f.healthyReplicas(s) > 0 {
+			f.repairing[s][r] = true
+			rr := r
+			name := fmt.Sprintf("replica-repair:%s:%d.%d", f.name, s, rr)
+			p.Kernel().Go(name, func(rp *sim.Proc) { f.repairReplica(rp, s, rr) })
+		}
+	}
+	lo, hi := f.stripeBlockRange(s)
+	bs := f.fs.BlockSize
+	fsz := int64(f.frameSize())
+	const maxRun = 32
+	scratch := make([]byte, maxRun*fsz)
+	for r := range f.leases[s] {
+		g := lo
+		for g < hi {
+			if f.closed || f.deleted || f.unavailable {
+				return
+			}
+			if f.down[s][r] || f.repairing[s][r] {
+				break
+			}
+			if f.gens[g] == 0 || f.poisoned[g] {
+				g++
+				continue
+			}
+			run := int64(1)
+			for g+run < hi && run < maxRun && f.gens[g+run] != 0 && !f.poisoned[g+run] {
+				run++
+			}
+			l := f.leases[s][r]
+			if !l.Valid(p.Now()) {
+				f.replicaLost(p, s, r)
+				break
+			}
+			_, frameOff := f.blockHome(g)
+			err := f.fs.Transport.Read(p, f.fs.Client, l.MR, frameOff, scratch[:run*fsz])
+			if err != nil {
+				if errors.Is(err, rmem.ErrRevoked) {
+					f.replicaLost(p, s, r)
+				}
+				break
+			}
+			for i := int64(0); i < run; i++ {
+				fr := scratch[i*fsz : (i+1)*fsz]
+				if verifyFrame(fr, bs, f.gens[g+i]) == nil {
+					f.fs.ScrubChecked.Add(1, int64(bs))
+					continue
+				}
+				// Latent corruption or staleness on replica r: find a
+				// good copy elsewhere and rewrite this one, or poison.
+				f.fs.Corruptions.Add(1, int64(bs))
+				good := make([]byte, fsz)
+				if ferr := f.fetchBlockSkip(p, g+i, good, r); ferr == nil {
+					f.repairBlockOn(p, g+i, r, good)
+				} else if !errors.Is(ferr, vfs.ErrCorrupt) {
+					// No other replica could serve the block: this was
+					// the only copy and it is bad.
+					f.poisonBlock(p, g+i)
+				}
+			}
+			g += run
+		}
+	}
+	f.fs.ScrubSweeps++
+}
+
+// Fault-injection accessors (used by the corruption harness in
+// internal/exp; see the Inject* primitives on rmem.MR). They are no-ops
+// returning false/nil unless integrity frames are on.
+
+// Blocks returns the number of logical integrity blocks.
+func (f *File) Blocks() int { return len(f.gens) }
+
+// BlockWritten reports whether block g has ever been written (an
+// injection target must hold real data to model silent corruption).
+func (f *File) BlockWritten(g int) bool {
+	return g >= 0 && g < len(f.gens) && f.gens[g] > 0
+}
+
+// BlockPoisoned reports whether block g currently has no verifiable
+// copy.
+func (f *File) BlockPoisoned(g int) bool { return f.poisoned[int64(g)] }
+
+// blockMR resolves block g on replica r to its MR and frame offset.
+func (f *File) blockMR(g, r int) (*rmem.MR, int, bool) {
+	if !f.fs.Integrity || g < 0 || g >= len(f.gens) {
+		return nil, 0, false
+	}
+	s, frameOff := f.blockHome(int64(g))
+	if r < 0 || r >= len(f.leases[s]) || f.down[s][r] {
+		return nil, 0, false
+	}
+	return f.leases[s][r].MR, frameOff, true
+}
+
+// InjectBlockFlip flips one stored bit of block g's frame on replica r
+// (a silent medium bit flip).
+func (f *File) InjectBlockFlip(g, r int) bool {
+	mr, off, ok := f.blockMR(g, r)
+	return ok && mr.InjectXOR(off+f.fs.BlockSize/2, 0x01)
+}
+
+// InjectBlockTear clobbers the second half of block g's stored data on
+// replica r without touching the trailer (a torn write).
+func (f *File) InjectBlockTear(g, r int) bool {
+	mr, off, ok := f.blockMR(g, r)
+	return ok && mr.InjectClobber(off+f.fs.BlockSize/2, f.fs.BlockSize/2)
+}
+
+// SnapshotBlockFrame captures block g's stored frame on replica r for a
+// later RestoreBlockFrame (stale-replica resurrection).
+func (f *File) SnapshotBlockFrame(g, r int) []byte {
+	mr, off, ok := f.blockMR(g, r)
+	if !ok {
+		return nil
+	}
+	return mr.InjectCopyOut(off, f.frameSize())
+}
+
+// RestoreBlockFrame writes a snapshot back over block g's frame on
+// replica r: the stored image silently reverts to an older, internally
+// consistent state, detectable only by the generation stamp.
+func (f *File) RestoreBlockFrame(g, r int, snap []byte) bool {
+	mr, off, ok := f.blockMR(g, r)
+	return ok && len(snap) == f.frameSize() && mr.InjectCopyIn(off, snap)
+}

@@ -176,9 +176,11 @@ func TestRenewRetriesThroughPartition(t *testing.T) {
 			t.Errorf("lost stripes: %d, want 0", e.fs.LostStripes)
 		}
 		// Leases are still live afterwards.
-		for _, l := range f.leases {
-			if !l.Valid(p.Now()) {
-				t.Error("lease expired despite retrying renew loop")
+		for _, reps := range f.leases {
+			for _, l := range reps {
+				if !l.Valid(p.Now()) {
+					t.Error("lease expired despite retrying renew loop")
+				}
 			}
 		}
 	})

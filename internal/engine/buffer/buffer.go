@@ -367,14 +367,17 @@ func (bp *Pool) evict(p *sim.Proc, idx int) (bool, error) {
 // extFailed decides the extension's fate after an access error. A
 // degraded remote file (stripe lost but a re-lease is in progress) keeps
 // the tier attached — the access already fell back to the data file, and
-// the restripe will restore service. Anything terminal disables the tier
-// for good (best-effort semantics: the engine keeps running off the data
-// file).
+// the restripe will restore service. A detected-corrupt block likewise
+// keeps the tier: the integrity layer already refused to serve the bad
+// bytes (this access fell back to the data file), poisoned the block,
+// and salvage/overwrite will heal it. Anything terminal disables the
+// tier for good (best-effort semantics: the engine keeps running off
+// the data file).
 func (bp *Pool) extFailed(err error) {
 	if bp.ext == nil {
 		return
 	}
-	if errors.Is(err, vfs.ErrUnavailable) {
+	if errors.Is(err, vfs.ErrUnavailable) || errors.Is(err, vfs.ErrCorrupt) {
 		if u, ok := bp.ext.file.(interface{ Unavailable() bool }); ok && !u.Unavailable() {
 			return // degraded, not dead: repair is pending
 		}

@@ -103,6 +103,17 @@ type BedConfig struct {
 	// NoRecover disables re-lease/restripe recovery, restoring the
 	// original fail-to-disk behavior (the ablation baseline).
 	NoRecover bool
+
+	// Replication stripes every remote file over K replicas per stripe
+	// on distinct donors (0 or 1 keeps single-copy striping). K > 1
+	// implies Integrity.
+	Replication int
+	// Integrity enables checksummed block framing (CRC-32C + generation
+	// stamp) on every remote file.
+	Integrity bool
+	// ScrubEvery starts each remote file's background scrubber at this
+	// cadence (0 leaves scrubbing off). Requires Integrity.
+	ScrubEvery time.Duration
 }
 
 // DefaultBedConfig mirrors the paper's default hardware (Table 3) with
@@ -136,6 +147,10 @@ type Bed struct {
 
 	TempFile  vfs.File
 	BPExtFile vfs.File
+
+	// snaps holds frame snapshots recorded by FaultStaleSnapshot for
+	// later resurrection by FaultStaleRestore.
+	snaps map[frameSnap][]byte
 }
 
 // serverConfig returns the Table 3 server scaled down.
@@ -174,10 +189,27 @@ func NewBed(p *sim.Proc, cfg BedConfig) (*Bed, error) {
 		if cfg.ExpireEvery > 0 {
 			k.Go("broker-expire", func(ep *sim.Proc) { b.ExpireLoop(ep, cfg.ExpireEvery) })
 		}
-		need := cfg.TempBytes + cfg.BPExtBytes
-		perServer := (need + int64(cfg.RemoteServers) - 1) / int64(cfg.RemoteServers)
-		mrs := int((perServer+int64(cfg.MRBytes)-1)/int64(cfg.MRBytes)) + 4
-		for i := 0; i < cfg.RemoteServers; i++ {
+		repl := cfg.Replication
+		if repl < 1 {
+			repl = 1
+		}
+		// With integrity framing each MR holds slightly less than
+		// MRBytes of logical data (the per-block trailers), and each
+		// stripe is leased on repl distinct donors, so size the donor
+		// pool for the framed capacity times the replication factor.
+		stripeCap := int64(cfg.MRBytes)
+		if cfg.Integrity || repl > 1 {
+			stripeCap = core.StripeCapacity(cfg.MRBytes, 0)
+		}
+		servers := cfg.RemoteServers
+		if servers < repl {
+			servers = repl // anti-affinity needs at least K donors
+		}
+		stripes := (cfg.TempBytes + stripeCap - 1) / stripeCap
+		stripes += (cfg.BPExtBytes + stripeCap - 1) / stripeCap
+		mrsTotal := stripes * int64(repl)
+		mrs := int((mrsTotal+int64(servers)-1)/int64(servers)) + 4
+		for i := 0; i < servers; i++ {
 			m := cluster.NewServer(k, fmt.Sprintf("mem%d", i+1), serverConfig(cfg.Spindles))
 			bed.Mems = append(bed.Mems, m)
 			px, err := b.AddProxy(p, m, cfg.MRBytes, mrs)
@@ -194,6 +226,9 @@ func NewBed(p *sim.Proc, cfg BedConfig) (*Bed, error) {
 		fsCfg := core.DefaultConfig()
 		fsCfg.Protocol = cfg.Design.protocol()
 		fsCfg.Recover = !cfg.NoRecover
+		fsCfg.Integrity = cfg.Integrity
+		fsCfg.Replication = cfg.Replication
+		fsCfg.ScrubEvery = cfg.ScrubEvery
 		if cfg.Retry.MaxAttempts > 0 {
 			fsCfg.Retry = cfg.Retry
 		}

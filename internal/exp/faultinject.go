@@ -8,6 +8,7 @@ package exp
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"remotedb/internal/broker"
@@ -40,6 +41,21 @@ const (
 	// FaultReplenish brings a fresh memory server with N MRs into the
 	// cluster — the donor-side recovery that refills the broker's pool.
 	FaultReplenish
+	// FaultBitFlip flips one bit in block N of the named file, on
+	// replica Replica — silent media corruption. Requires integrity
+	// framing (it is a no-op otherwise: there is no frame to corrupt).
+	FaultBitFlip
+	// FaultTornWrite clobbers the second half of block N's stored frame
+	// on replica Replica — a write that stopped midway.
+	FaultTornWrite
+	// FaultStaleSnapshot records the current stored frame of block N on
+	// replica Replica, to be resurrected later by FaultStaleRestore.
+	FaultStaleSnapshot
+	// FaultStaleRestore writes every frame snapshot taken for the named
+	// file back over the current contents — a stale replica
+	// resurrection: old data with a valid checksum, caught only by the
+	// generation stamp.
+	FaultStaleRestore
 )
 
 func (fk FaultKind) String() string {
@@ -56,6 +72,14 @@ func (fk FaultKind) String() string {
 		return "revoke-file"
 	case FaultReplenish:
 		return "replenish"
+	case FaultBitFlip:
+		return "bit-flip"
+	case FaultTornWrite:
+		return "torn-write"
+	case FaultStaleSnapshot:
+		return "stale-snapshot"
+	case FaultStaleRestore:
+		return "stale-restore"
 	}
 	return "unknown"
 }
@@ -64,8 +88,11 @@ func (fk FaultKind) String() string {
 type FaultEvent struct {
 	At   time.Duration // absolute simulation time
 	Kind FaultKind
-	N    int    // proxy index, storm width, stripe count, or MR count
-	Name string // target file (FaultRevokeFile)
+	N    int    // proxy index, storm width, stripe/block count, or MR count
+	Name string // target file (FaultRevokeFile and the corruption kinds)
+	// Replica selects which copy of the block the corruption kinds hit
+	// (0 is the primary; only meaningful with replication).
+	Replica int
 }
 
 // InjectFaults schedules the events on the bed's kernel. Call before
@@ -118,7 +145,90 @@ func (bed *Bed) applyFault(p *sim.Proc, ev FaultEvent) {
 			bed.Mems = append(bed.Mems, m.Server)
 			bed.Proxies = append(bed.Proxies, m)
 		}
+	case FaultBitFlip, FaultTornWrite, FaultStaleSnapshot, FaultStaleRestore:
+		bed.applyCorruption(ev)
 	}
+}
+
+// frameSnap identifies one recorded frame snapshot.
+type frameSnap struct {
+	name    string
+	block   int
+	replica int
+}
+
+// applyCorruption pokes stored bytes directly in a donor's memory
+// region, bypassing the transport: the FS observes nothing until a read,
+// scrub, or repair verifies the frame. Corruption targets the first
+// written block at or after index N (wrapping), so storms written
+// against a warm file always land on real data deterministically.
+func (bed *Bed) applyCorruption(ev FaultEvent) {
+	if bed.FS == nil {
+		return
+	}
+	f, ok := bed.FS.Lookup(ev.Name)
+	if !ok {
+		return
+	}
+	if ev.Kind == FaultStaleRestore {
+		// Resurrect every snapshot recorded for this file, in a fixed
+		// order (the poke order cannot affect the final state, but the
+		// harness stays deterministic on principle).
+		keys := make([]frameSnap, 0, len(bed.snaps))
+		for k := range bed.snaps {
+			if k.name == ev.Name {
+				keys = append(keys, k)
+			}
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].block != keys[j].block {
+				return keys[i].block < keys[j].block
+			}
+			return keys[i].replica < keys[j].replica
+		})
+		for _, k := range keys {
+			f.RestoreBlockFrame(k.block, k.replica, bed.snaps[k])
+			delete(bed.snaps, k)
+		}
+		return
+	}
+	g := pickWrittenBlock(f, ev.N)
+	if g < 0 {
+		return
+	}
+	switch ev.Kind {
+	case FaultBitFlip:
+		f.InjectBlockFlip(g, ev.Replica)
+	case FaultTornWrite:
+		f.InjectBlockTear(g, ev.Replica)
+	case FaultStaleSnapshot:
+		if snap := f.SnapshotBlockFrame(g, ev.Replica); snap != nil {
+			if bed.snaps == nil {
+				bed.snaps = make(map[frameSnap][]byte)
+			}
+			bed.snaps[frameSnap{ev.Name, g, ev.Replica}] = snap
+		}
+	}
+}
+
+// pickWrittenBlock returns the first written block at or after index
+// from, wrapping to the start; -1 if the file has no written block (or
+// no integrity framing at all).
+func pickWrittenBlock(f *core.File, from int) int {
+	n := f.Blocks()
+	if n == 0 {
+		return -1
+	}
+	if from < 0 || from >= n {
+		from = 0
+	}
+	for i := 0; i < n; i++ {
+		g := (from + i) % n
+		if f.BlockWritten(g) {
+			return g
+		}
+	}
+	return -1
 }
 
 // newMemServer adds one more donor with mrs MRs to the running cluster.

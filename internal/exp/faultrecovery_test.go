@@ -1,13 +1,26 @@
 package exp
 
-import "testing"
+import (
+	"testing"
+	"time"
+)
+
+// faultRecoveryParams scales the three phase windows down under -short;
+// the injected storm fires within the first 70ms of phase 2 either way.
+func faultRecoveryParams() FaultRecoveryParams {
+	prm := DefaultFaultRecoveryParams()
+	if testing.Short() {
+		prm.Window = 150 * time.Millisecond
+	}
+	return prm
+}
 
 // TestFaultRecoveryZeroErrors is the PR's acceptance scenario: every
 // BPExt stripe is revoked mid-workload inside a metastore partition, and
 // the engine must ride it out with zero query-visible errors while the
 // FS re-leases and restripes, with throughput recovering afterwards.
 func TestFaultRecoveryZeroErrors(t *testing.T) {
-	res, err := RunFaultRecovery(1, DefaultFaultRecoveryParams())
+	res, err := RunFaultRecovery(1, faultRecoveryParams())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,11 +52,11 @@ func TestFaultRecoveryZeroErrors(t *testing.T) {
 // bit-identical results — the point of injecting faults at virtual
 // times in a deterministic simulation.
 func TestFaultRecoveryDeterministic(t *testing.T) {
-	a, err := RunFaultRecovery(7, DefaultFaultRecoveryParams())
+	a, err := RunFaultRecovery(7, faultRecoveryParams())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunFaultRecovery(7, DefaultFaultRecoveryParams())
+	b, err := RunFaultRecovery(7, faultRecoveryParams())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,14 @@
-package exp
+// These tests drive the bed through the public facade (package
+// remotedb) and its functional-options constructors — the bare-Config
+// entry points they used to call are deprecated.
+package exp_test
 
 import (
 	"testing"
 	"time"
 
-	"remotedb/internal/sim"
+	"remotedb"
+	"remotedb/internal/exp"
 	"remotedb/internal/workload"
 )
 
@@ -13,23 +17,26 @@ import (
 // producing correct results from the data file, and throughput must drop
 // to the no-extension regime (the paper's best-effort contract, §4.1.5).
 func TestRemoteFailureMidWorkload(t *testing.T) {
-	err := RunInSim(1, 2*time.Hour, func(p *sim.Proc) error {
-		cfg := DefaultBedConfig(DesignCustom)
-		cfg.LocalMemBytes = 16 << 20
-		cfg.BPExtBytes = 64 << 20
-		bed, err := NewBed(p, cfg)
+	rows, clients, window := 200000, 40, 300*time.Millisecond
+	if testing.Short() {
+		rows, clients, window = 100000, 20, 150*time.Millisecond
+	}
+	err := remotedb.RunInSim(1, 2*time.Hour, func(p *remotedb.Proc) error {
+		bed, err := remotedb.NewTestBed(p, remotedb.DesignCustom,
+			remotedb.WithBufferFrames(2048), // 16 MiB local pool
+			remotedb.WithBPExtBytes(64<<20))
 		if err != nil {
 			return err
 		}
 		wcfg := workload.DefaultRangeScan()
-		wcfg.Rows = 200000
-		wcfg.Clients = 40
+		wcfg.Rows = rows
+		wcfg.Clients = clients
 		w, err := workload.NewRangeScan(p, bed.Eng, wcfg)
 		if err != nil {
 			return err
 		}
 		// Warm, then measure with the extension alive.
-		healthy := w.Run(p, 300*time.Millisecond, 300*time.Millisecond)
+		healthy := w.Run(p, window, window)
 		if !bed.Eng.BP.ExtensionHealthy() {
 			t.Error("extension should be healthy before the failure")
 		}
@@ -38,7 +45,7 @@ func TestRemoteFailureMidWorkload(t *testing.T) {
 		for _, px := range bed.Proxies {
 			bed.Broker.FailProxy(px)
 		}
-		degraded := w.Run(p, 200*time.Millisecond, 300*time.Millisecond)
+		degraded := w.Run(p, window*2/3, window)
 
 		t.Logf("healthy: %.0f q/s (%d errors), degraded: %.0f q/s (%d errors)",
 			healthy.Throughput(), healthy.Errors, degraded.Throughput(), degraded.Errors)
@@ -70,23 +77,26 @@ func TestRemoteFailureMidWorkload(t *testing.T) {
 // mid-run; the broker reclaims MRs (free first, then revoking leases)
 // and the workload keeps running.
 func TestMemoryPressureReclaimsMidWorkload(t *testing.T) {
-	err := RunInSim(1, 2*time.Hour, func(p *sim.Proc) error {
-		cfg := DefaultBedConfig(DesignCustom)
-		cfg.LocalMemBytes = 16 << 20
-		cfg.BPExtBytes = 64 << 20
-		cfg.RemoteServers = 1
-		bed, err := NewBed(p, cfg)
+	rows, clients, window := 100000, 20, 300*time.Millisecond
+	if testing.Short() {
+		rows, clients, window = 60000, 10, 150*time.Millisecond
+	}
+	err := remotedb.RunInSim(1, 2*time.Hour, func(p *remotedb.Proc) error {
+		bed, err := remotedb.NewTestBed(p, remotedb.DesignCustom,
+			remotedb.WithBufferFrames(2048), // 16 MiB local pool
+			remotedb.WithBPExtBytes(64<<20),
+			remotedb.WithRemoteServers(1))
 		if err != nil {
 			return err
 		}
 		wcfg := workload.DefaultRangeScan()
-		wcfg.Rows = 100000
-		wcfg.Clients = 20
+		wcfg.Rows = rows
+		wcfg.Clients = clients
 		w, err := workload.NewRangeScan(p, bed.Eng, wcfg)
 		if err != nil {
 			return err
 		}
-		w.Run(p, 0, 300*time.Millisecond)
+		w.Run(p, 0, window)
 
 		// The donor suddenly needs almost everything.
 		donor := bed.Mems[0]
@@ -97,7 +107,7 @@ func TestMemoryPressureReclaimsMidWorkload(t *testing.T) {
 		if bed.Broker.Revocations == 0 {
 			t.Error("pressure should have revoked leases")
 		}
-		after := w.Run(p, 0, 300*time.Millisecond)
+		after := w.Run(p, 0, window)
 		if after.Errors != 0 {
 			t.Errorf("%d errors after reclamation", after.Errors)
 		}
@@ -116,11 +126,15 @@ func TestMemoryPressureReclaimsMidWorkload(t *testing.T) {
 // throughput bit for bit (the repository's headline determinism claim).
 func TestDeterminismAcrossRuns(t *testing.T) {
 	run := func() float64 {
-		prm := DefaultRangeScanParams()
+		prm := exp.DefaultRangeScanParams()
 		prm.Rows = 100000
 		prm.Clients = 20
 		prm.Measure = 300 * time.Millisecond
-		r, err := RunRangeScan(7, DesignCustom, prm)
+		if testing.Short() {
+			prm.Rows = 60000
+			prm.Measure = 150 * time.Millisecond
+		}
+		r, err := exp.RunRangeScan(7, exp.DesignCustom, prm)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -136,13 +150,17 @@ func TestDeterminismAcrossRuns(t *testing.T) {
 // random streams (guards against accidentally fixed RNGs).
 func TestSeedChangesResults(t *testing.T) {
 	run := func(seed int64) float64 {
-		prm := DefaultRangeScanParams()
+		prm := exp.DefaultRangeScanParams()
 		// Larger than local memory so cache misses (and thus timing)
 		// depend on the random key stream.
 		prm.Rows = 300000
 		prm.Clients = 20
 		prm.Measure = 300 * time.Millisecond
-		r, err := RunRangeScan(seed, DesignCustom, prm)
+		if testing.Short() {
+			prm.Rows = 200000
+			prm.Measure = 150 * time.Millisecond
+		}
+		r, err := exp.RunRangeScan(seed, exp.DesignCustom, prm)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -7,6 +7,14 @@ import (
 func TestHashSortSmoke(t *testing.T) {
 	for _, d := range []Design{DesignHDDSSD, DesignCustom} {
 		prm := DefaultHashSortParams()
+		if testing.Short() {
+			// Half the tables, half the grant: the join and sort still
+			// spill (the point of the experiment), in half the wall time.
+			prm.Cfg.Orders /= 2
+			prm.Cfg.Lineitem /= 2
+			prm.Cfg.TopN /= 2
+			prm.Grant = 4 << 20
+		}
 		r, err := RunHashSort(1, d, prm)
 		if err != nil {
 			t.Fatalf("%v: %v", d, err)

@@ -26,13 +26,28 @@ type Fig12Point struct {
 	MeanLat    time.Duration
 }
 
+// Fig12Params tunes the sweep geometry (scaled down by -short / -quick).
+type Fig12Params struct {
+	SizesMB []int64 // BPExt sizes swept
+	Rows    int
+	Measure time.Duration
+}
+
+func DefaultFig12Params() Fig12Params {
+	return Fig12Params{
+		SizesMB: []int64{32, 64, 96, 128, 144},
+		Rows:    500000,
+		Measure: 700 * time.Millisecond,
+	}
+}
+
 // RunFig12BPExtSize reproduces Figure 12: read-only RangeScan throughput
 // and latency as the BPExt grows, with the remote memory on one server
 // (multi=false) or spread over several (multi=true, one more server per
 // 16 MB as in the paper's 16 GB increments).
-func RunFig12BPExtSize(seed int64, multi bool) ([]Fig12Point, error) {
+func RunFig12BPExtSize(seed int64, multi bool, fprm Fig12Params) ([]Fig12Point, error) {
 	var out []Fig12Point
-	for _, mb := range []int64{32, 64, 96, 128, 144} {
+	for _, mb := range fprm.SizesMB {
 		ext := mb << 20
 		servers := 1
 		if multi {
@@ -44,7 +59,8 @@ func RunFig12BPExtSize(seed int64, multi bool) ([]Fig12Point, error) {
 		prm := DefaultRangeScanParams()
 		prm.BPExtBytes = ext
 		prm.RemoteServers = servers
-		prm.Measure = 700 * time.Millisecond
+		prm.Rows = fprm.Rows
+		prm.Measure = fprm.Measure
 		r, err := RunRangeScan(seed, DesignCustom, prm)
 		if err != nil {
 			return nil, err
@@ -67,11 +83,32 @@ type Fig13Result struct {
 	P99Lat     time.Duration
 }
 
+// Fig13Params tunes SB's workload and SA's traffic geometry.
+type Fig13Params struct {
+	SBRows    int
+	SBClients int
+	Warmup    time.Duration
+	Measure   time.Duration
+	Traffic   time.Duration // how long SA's remote I/O runs (0 = Warmup+Measure)
+}
+
+func DefaultFig13Params() Fig13Params {
+	return Fig13Params{
+		SBRows:    100000,
+		SBClients: 80,
+		Warmup:    500 * time.Millisecond,
+		Measure:   2 * time.Second,
+	}
+}
+
 // RunFig13RemoteImpact reproduces Figure 13: server SB runs a CPU-bound
 // read-only RangeScan from its own memory while server SA's BPExt
 // traffic lands on SB's spare memory via RDMA or TCP; reported is SB's
 // workload.
-func RunFig13RemoteImpact(seed int64) ([]Fig13Result, error) {
+func RunFig13RemoteImpact(seed int64, prm Fig13Params) ([]Fig13Result, error) {
+	if prm.Traffic == 0 {
+		prm.Traffic = prm.Warmup + prm.Measure
+	}
 	var out []Fig13Result
 	for _, mode := range []string{"Default", "RDMA", "TCP"} {
 		mode := mode
@@ -90,9 +127,9 @@ func RunFig13RemoteImpact(seed int64) ([]Fig13Result, error) {
 				return err
 			}
 			sbCfg := workload.DefaultRangeScan()
-			sbCfg.Rows = 100000
+			sbCfg.Rows = prm.SBRows
 			sbCfg.Range = 10000
-			sbCfg.Clients = 80
+			sbCfg.Clients = prm.SBClients
 			sbCfg.QueryCPU = 2 * time.Millisecond
 			sbW, err := workload.NewRangeScan(p, sbEng, sbCfg)
 			if err != nil {
@@ -127,13 +164,14 @@ func RunFig13RemoteImpact(seed int64) ([]Fig13Result, error) {
 				// SA's BPExt traffic: drive the paper's measured access
 				// rate against SB's memory for the whole run.
 				k.Go("sa-traffic", func(tp *sim.Proc) {
+					stop := tp.Now() + prm.Traffic
 					wg := sim.NewWaitGroup(k)
 					wg.Add(20)
 					for i := 0; i < 20; i++ {
 						k.Go("sa-io", func(ip *sim.Proc) {
 							defer wg.Done()
 							buf := make([]byte, 8192)
-							for ip.Now() < 3*time.Second {
+							for ip.Now() < stop {
 								off := ip.Rand().Int63n((128<<20)/8192) * 8192
 								if err := f.ReadAt(ip, buf, off); err != nil {
 									return
@@ -145,7 +183,7 @@ func RunFig13RemoteImpact(seed int64) ([]Fig13Result, error) {
 				})
 			}
 
-			r := sbW.Run(p, 500*time.Millisecond, 2*time.Second)
+			r := sbW.Run(p, prm.Warmup, prm.Measure)
 			res.Throughput = r.Throughput()
 			res.MeanLat = r.Latency.Mean()
 			res.P99Lat = r.Latency.P99()
@@ -172,18 +210,29 @@ type Fig16Result struct {
 	PagesPrimed   int
 }
 
+// Fig16Params tunes the priming experiment geometry.
+type Fig16Params struct {
+	BPSizesMB []int64
+	Rows      int
+	Clients   int
+}
+
+func DefaultFig16Params() Fig16Params {
+	return Fig16Params{BPSizesMB: []int64{10, 15, 20, 25}, Rows: 250000, Clients: 20}
+}
+
 // RunFig16Priming reproduces Figure 16: the cost of proactively priming
 // a new primary's buffer pool versus warming it through the workload,
 // and the tail-latency effect, for several buffer-pool sizes. Warm-up
 // time is measured as the time for a cold instance's throughput to
 // plateau (two consecutive windows within 5%), the operational notion
 // behind Figure 16a.
-func RunFig16Priming(seed int64, bpSizesMB []int64) ([]Fig16Result, error) {
-	if len(bpSizesMB) == 0 {
-		bpSizesMB = []int64{10, 15, 20, 25}
+func RunFig16Priming(seed int64, prm Fig16Params) ([]Fig16Result, error) {
+	if len(prm.BPSizesMB) == 0 {
+		prm.BPSizesMB = DefaultFig16Params().BPSizesMB
 	}
 	var out []Fig16Result
-	for _, mb := range bpSizesMB {
+	for _, mb := range prm.BPSizesMB {
 		res := Fig16Result{BPBytes: mb << 20}
 		err := RunInSim(seed, 2*time.Hour, func(p *sim.Proc) error {
 			k := p.Kernel()
@@ -201,9 +250,9 @@ func RunFig16Priming(seed int64, bpSizesMB []int64) ([]Fig16Result, error) {
 				return s, eng, err
 			}
 			wcfg := workload.DefaultRangeScan()
-			wcfg.Rows = 250000 // ~60 MB database (Section 6.5's ~100 GB, scaled)
+			wcfg.Rows = prm.Rows // ~60 MB database at default (Section 6.5's ~100 GB, scaled)
 			wcfg.Range = 2000
-			wcfg.Clients = 20
+			wcfg.Clients = prm.Clients
 			wcfg.Hotspot = hot
 			wcfg.QueryCPU = 200 * time.Microsecond
 
@@ -297,15 +346,25 @@ type Fig24Point struct {
 	MeanLat       time.Duration
 }
 
+// Fig24Params tunes the local-memory sweep.
+type Fig24Params struct {
+	MemsMB  []int64
+	Measure time.Duration
+}
+
+func DefaultFig24Params() Fig24Params {
+	return Fig24Params{MemsMB: []int64{16, 32, 64, 96, 128}, Measure: 700 * time.Millisecond}
+}
+
 // RunFig24LocalMemorySweep reproduces Figure 24: Custom vs HDD+SSD as
 // local memory grows from 16 MB to 128 MB (paper: GB).
-func RunFig24LocalMemorySweep(seed int64) ([]Fig24Point, error) {
+func RunFig24LocalMemorySweep(seed int64, fprm Fig24Params) ([]Fig24Point, error) {
 	var out []Fig24Point
-	for _, mb := range []int64{16, 32, 64, 96, 128} {
+	for _, mb := range fprm.MemsMB {
 		for _, d := range []Design{DesignHDDSSD, DesignCustom} {
 			prm := DefaultRangeScanParams()
 			prm.LocalMemBytes = mb << 20
-			prm.Measure = 700 * time.Millisecond
+			prm.Measure = fprm.Measure
 			r, err := RunRangeScan(seed, d, prm)
 			if err != nil {
 				return nil, err
@@ -328,11 +387,30 @@ type Fig25Point struct {
 	MeanLat    time.Duration
 }
 
+// Fig25Params tunes the multi-DB aggregate experiment.
+type Fig25Params struct {
+	DBCounts []int
+	Rows     int
+	Clients  int
+	Warmup   time.Duration
+	Measure  time.Duration
+}
+
+func DefaultFig25Params() Fig25Params {
+	return Fig25Params{
+		DBCounts: []int{1, 2, 4, 8},
+		Rows:     125000,
+		Clients:  40,
+		Warmup:   300 * time.Millisecond,
+		Measure:  time.Second,
+	}
+}
+
 // RunFig25MultiDBRangeScan reproduces Figure 25: 1..8 database servers
 // each running RangeScan with its BPExt on one shared memory server.
-func RunFig25MultiDBRangeScan(seed int64) ([]Fig25Point, error) {
+func RunFig25MultiDBRangeScan(seed int64, prm Fig25Params) ([]Fig25Point, error) {
 	var out []Fig25Point
-	for _, n := range []int{1, 2, 4, 8} {
+	for _, n := range prm.DBCounts {
 		pt := Fig25Point{DBServers: n}
 		err := RunInSim(seed, 2*time.Hour, func(p *sim.Proc) error {
 			k := p.Kernel()
@@ -371,15 +449,15 @@ func RunFig25MultiDBRangeScan(seed int64) ([]Fig25Point, error) {
 					return err
 				}
 				wcfg := workload.DefaultRangeScan()
-				wcfg.Rows = 125000
-				wcfg.Clients = 40
+				wcfg.Rows = prm.Rows
+				wcfg.Clients = prm.Clients
 				w, err := workload.NewRangeScan(p, eng, wcfg)
 				if err != nil {
 					return err
 				}
 				k.Go("dbrun", func(dp *sim.Proc) {
 					defer wg.Done()
-					r := w.Run(dp, 300*time.Millisecond, time.Second)
+					r := w.Run(dp, prm.Warmup, prm.Measure)
 					agg += r.Queries
 					latSum += time.Duration(r.Latency.Mean().Nanoseconds() * r.Queries)
 					latN += r.Queries
@@ -387,7 +465,7 @@ func RunFig25MultiDBRangeScan(seed int64) ([]Fig25Point, error) {
 				})
 			}
 			wg.Wait(p)
-			pt.Throughput = float64(agg) / 1.0
+			pt.Throughput = float64(agg) / prm.Measure.Seconds()
 			if latN > 0 {
 				pt.MeanLat = latSum / time.Duration(latN)
 			}

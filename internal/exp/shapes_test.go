@@ -11,6 +11,12 @@ import (
 func TestRangeScanDesignOrdering(t *testing.T) {
 	prm := DefaultRangeScanParams()
 	prm.Measure = 500 * time.Millisecond
+	if testing.Short() {
+		// Keep the table (the ordering depends on the working set vs the
+		// 32 MiB pool); shrink only the windows.
+		prm.Warmup = 300 * time.Millisecond
+		prm.Measure = 250 * time.Millisecond
+	}
 	get := func(d Design) float64 {
 		r, err := RunRangeScan(1, d, prm)
 		if err != nil {
@@ -45,6 +51,10 @@ func TestRangeScanUpdatesSpindleScaling(t *testing.T) {
 	prm := DefaultRangeScanParams()
 	prm.Measure = 500 * time.Millisecond
 	prm.UpdateFraction = 0.20
+	if testing.Short() {
+		prm.Warmup = 300 * time.Millisecond
+		prm.Measure = 250 * time.Millisecond
+	}
 	var prev float64
 	for _, sp := range []int{4, 20} {
 		prm.Spindles = sp
@@ -64,7 +74,11 @@ func TestRangeScanUpdatesSpindleScaling(t *testing.T) {
 // the CPU near saturation while HDD+SSD is I/O-bound at low CPU, and
 // Custom's page-fetch latency is far below SMBDirect's under load.
 func TestFig11DrilldownShapes(t *testing.T) {
-	dds, err := RunFig11Drilldown(1, 700*time.Millisecond)
+	ddWindow, latWindow := 700*time.Millisecond, 600*time.Millisecond
+	if testing.Short() {
+		ddWindow, latWindow = 350*time.Millisecond, 300*time.Millisecond
+	}
+	dds, err := RunFig11Drilldown(1, ddWindow)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -80,7 +94,7 @@ func TestFig11DrilldownShapes(t *testing.T) {
 		t.Errorf("HDD+SSD CPU (%.0f%%) should be far below Custom (%.0f%%)", cpu[DesignHDDSSD], cpu[DesignCustom])
 	}
 
-	lats, err := RunFig11Latency(1, 600*time.Millisecond)
+	lats, err := RunFig11Latency(1, latWindow)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +113,15 @@ func TestFig11DrilldownShapes(t *testing.T) {
 // the BPExt grows, and spreading the same memory over several servers
 // changes little.
 func TestFig12MoreRemoteMemoryHelps(t *testing.T) {
-	single, err := RunFig12BPExtSize(1, false)
+	fprm := DefaultFig12Params()
+	if testing.Short() {
+		// Endpoints plus one midpoint: the growth and the single-vs-multi
+		// comparison survive, the sweep doesn't.
+		fprm.SizesMB = []int64{32, 96, 144}
+		fprm.Rows = 300000
+		fprm.Measure = 400 * time.Millisecond
+	}
+	single, err := RunFig12BPExtSize(1, false, fprm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,7 +133,7 @@ func TestFig12MoreRemoteMemoryHelps(t *testing.T) {
 		t.Errorf("growing BPExt %dMB->%dMB should raise throughput markedly: %.0f -> %.0f",
 			first.BPExtBytes>>20, last.BPExtBytes>>20, first.Throughput, last.Throughput)
 	}
-	multi, err := RunFig12BPExtSize(1, true)
+	multi, err := RunFig12BPExtSize(1, true, fprm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +148,15 @@ func TestFig12MoreRemoteMemoryHelps(t *testing.T) {
 // TestFig13TCPHurtsRDMADoesNot checks Figure 13: serving BPExt traffic
 // over RDMA leaves the donor's workload intact; TCP costs ~10%.
 func TestFig13TCPHurtsRDMADoesNot(t *testing.T) {
-	res, err := RunFig13RemoteImpact(1)
+	prm := DefaultFig13Params()
+	if testing.Short() {
+		// Fewer clients, shorter windows: SB stays CPU-saturated (40
+		// clients x 2ms query CPU), so the dent ratios survive.
+		prm.SBClients = 40
+		prm.Warmup = 200 * time.Millisecond
+		prm.Measure = 800 * time.Millisecond
+	}
+	res, err := RunFig13RemoteImpact(1, prm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +181,12 @@ func TestFig13TCPHurtsRDMADoesNot(t *testing.T) {
 // magnitude faster than workload warm-up, and a primed pool's tails are
 // no worse than cold.
 func TestFig16PrimingShapes(t *testing.T) {
-	res, err := RunFig16Priming(1, []int64{10, 20})
+	prm := DefaultFig16Params()
+	prm.BPSizesMB = []int64{10, 20}
+	if testing.Short() {
+		prm.Rows = 125000 // ~30 MB database; the 25% hotspot still overflows the pool
+	}
+	res, err := RunFig16Priming(1, prm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +210,13 @@ func TestFig16PrimingShapes(t *testing.T) {
 // TestFig24MemorySweepConverges checks Figure 24: Custom's advantage
 // shrinks as local memory grows and vanishes when the database fits.
 func TestFig24MemorySweepConverges(t *testing.T) {
-	pts, err := RunFig24LocalMemorySweep(1)
+	fprm := DefaultFig24Params()
+	if testing.Short() {
+		// The assertions only read the 16 MB and 128 MB endpoints.
+		fprm.MemsMB = []int64{16, 128}
+		fprm.Measure = 400 * time.Millisecond
+	}
+	pts, err := RunFig24LocalMemorySweep(1, fprm)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -206,7 +247,14 @@ func TestFig24MemorySweepConverges(t *testing.T) {
 // TestFig25AggregateScales checks Figure 25: aggregate throughput grows
 // with DB-server count until the shared memory server's NIC saturates.
 func TestFig25AggregateScales(t *testing.T) {
-	pts, err := RunFig25MultiDBRangeScan(1)
+	prm := DefaultFig25Params()
+	if testing.Short() {
+		prm.Rows = 80000
+		prm.Clients = 20
+		prm.Warmup = 150 * time.Millisecond
+		prm.Measure = 500 * time.Millisecond
+	}
+	pts, err := RunFig25MultiDBRangeScan(1, prm)
 	if err != nil {
 		t.Fatal(err)
 	}

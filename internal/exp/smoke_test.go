@@ -10,6 +10,12 @@ import (
 func TestRangeScanSmoke(t *testing.T) {
 	prm := DefaultRangeScanParams()
 	prm.Measure = 500 * time.Millisecond
+	if testing.Short() {
+		prm.Rows = 250000
+		prm.Clients = 40
+		prm.Warmup = 250 * time.Millisecond
+		prm.Measure = 250 * time.Millisecond
+	}
 	r, err := RunRangeScan(1, DesignCustom, prm)
 	if err != nil {
 		t.Fatal(err)

@@ -14,6 +14,10 @@ func TestTPCHSmoke(t *testing.T) {
 	prm.BPExtBytes = 32 << 20
 	prm.Streams = 2
 	prm.QueryIDs = []int{1, 3, 6, 10}
+	if testing.Short() {
+		prm.Streams = 1
+		prm.QueryIDs = []int{1, 6}
+	}
 	base, err := RunTPCH(1, DesignHDDSSD, prm)
 	if err != nil {
 		t.Fatal(err)
@@ -37,6 +41,10 @@ func TestTPCCSmoke(t *testing.T) {
 	prm.Cfg.Warehouses = 2
 	prm.Cfg.Clients = 40
 	prm.Measure = 500 * time.Millisecond
+	if testing.Short() {
+		prm.Cfg.Clients = 20
+		prm.Measure = 250 * time.Millisecond
+	}
 	for _, rm := range []bool{false, true} {
 		hdd, err := RunTPCC(1, DesignHDDSSD, rm, prm)
 		if err != nil {

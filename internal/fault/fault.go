@@ -12,6 +12,7 @@
 //	ErrUnavailable the backing store cannot serve this access right now
 //	ErrNotFound    the named object does not exist
 //	ErrClosed      the object was closed and must not be used
+//	ErrCorrupt     stored bytes failed integrity verification
 //
 // RetryPolicy implements the exponential-backoff-with-jitter loop the
 // file layer uses for lease renewal and re-leasing after revocation:
@@ -47,6 +48,12 @@ var (
 	ErrNotFound = errors.New("not found")
 	// ErrClosed marks use-after-close.
 	ErrClosed = errors.New("closed")
+	// ErrCorrupt marks bytes that failed end-to-end integrity
+	// verification (checksum or generation mismatch): a bit flip, a torn
+	// write, or a stale replica. The bytes must never be used; consumers
+	// fall back exactly as for ErrUnavailable while the integrity layer
+	// repairs from a replica or re-populates via salvage.
+	ErrCorrupt = errors.New("data failed integrity verification (corrupt)")
 )
 
 // Retryable reports whether err should be retried (wraps ErrRetryable).

@@ -54,6 +54,55 @@ func (mr *MR) Revoked() bool { return mr.revoked }
 // lease a replacement.
 var ErrRevoked = fmt.Errorf("rmem: memory region revoked (%w)", fault.ErrRevoked)
 
+// Fault-injection primitives. These mutate the stored bytes directly,
+// bypassing the transport (no virtual time, no staging, no encryption),
+// modelling silent medium faults — a DRAM bit flip on the donor, a torn
+// RDMA write, a resurrected stale buffer. They exist only for the
+// corruption-injection harness; production code never calls them.
+
+// InjectXOR flips the bits selected by mask in the byte at off,
+// reporting whether the region still holds memory there.
+func (mr *MR) InjectXOR(off int, mask byte) bool {
+	if mr.revoked || off < 0 || off >= len(mr.buf) {
+		return false
+	}
+	mr.buf[off] ^= mask
+	return true
+}
+
+// InjectClobber overwrites [off, off+n) with a fixed garbage pattern —
+// the tail of a torn write that never completed.
+func (mr *MR) InjectClobber(off, n int) bool {
+	if mr.revoked || off < 0 || n < 0 || off+n > len(mr.buf) {
+		return false
+	}
+	for i := off; i < off+n; i++ {
+		mr.buf[i] = byte(0xA5 ^ i)
+	}
+	return true
+}
+
+// InjectCopyOut snapshots [off, off+n) of the stored (possibly
+// encrypted) image, for a later InjectCopyIn — the capture half of
+// stale-replica resurrection. It returns nil if the range is gone.
+func (mr *MR) InjectCopyOut(off, n int) []byte {
+	if mr.revoked || off < 0 || n < 0 || off+n > len(mr.buf) {
+		return nil
+	}
+	return append([]byte(nil), mr.buf[off:off+n]...)
+}
+
+// InjectCopyIn writes a snapshot taken by InjectCopyOut back over the
+// stored image — the resurrection half: the region silently reverts to
+// an older, internally consistent state.
+func (mr *MR) InjectCopyIn(off int, b []byte) bool {
+	if mr.revoked || off < 0 || off+len(b) > len(mr.buf) {
+		return false
+	}
+	copy(mr.buf[off:], b)
+	return true
+}
+
 // Pool is the memory-server side of the brokering proxy: it pins free
 // memory into fixed-size MRs, preregisters them with the NIC, and hands
 // them out. Deregistration under memory pressure unpins regions back to

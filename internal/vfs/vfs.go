@@ -39,6 +39,13 @@ var ErrClosed = fmt.Errorf("vfs: file is closed (%w)", fault.ErrClosed)
 // fault-tolerance contract. It wraps fault.ErrUnavailable.
 var ErrUnavailable = fmt.Errorf("vfs: backing store unavailable (%w)", fault.ErrUnavailable)
 
+// ErrCorrupt is returned when a file's stored bytes failed integrity
+// verification (checksum or generation mismatch) and no healthy replica
+// could serve the access. The read buffer contents are unspecified and
+// must not be used; consumers fall back as for ErrUnavailable. It wraps
+// fault.ErrCorrupt.
+var ErrCorrupt = fmt.Errorf("vfs: data failed integrity verification (%w)", fault.ErrCorrupt)
+
 // chunkSize is the allocation granularity of the sparse in-memory store.
 const chunkSize = 64 << 10
 

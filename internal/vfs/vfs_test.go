@@ -154,3 +154,115 @@ func TestSparseCrossChunkBoundary(t *testing.T) {
 		t.Fatal("cross-chunk round trip corrupted")
 	}
 }
+
+// Chunk-boundary edge cases at the File level: writes that end exactly
+// on a 64 KiB chunk boundary, start one byte before it, or straddle it
+// by one byte must round-trip, and the holes they leave on either side
+// must read as zeros.
+func TestChunkBoundaryReadsAndWrites(t *testing.T) {
+	k := sim.New(1)
+	k.Go("t", func(p *sim.Proc) {
+		f := NewMemFile("edges")
+		cases := []struct {
+			name string
+			off  int64
+			n    int
+		}{
+			{"ends-on-boundary", chunkSize - 100, 100},
+			{"starts-on-boundary", 3 * chunkSize, 100},
+			{"one-byte-before", 5*chunkSize - 1, 1},
+			{"one-byte-after", 7 * chunkSize, 1},
+			{"straddles-by-one", 9*chunkSize - 1, 2},
+			{"spans-three-chunks", 11*chunkSize - 7, 2*chunkSize + 14},
+		}
+		for i, c := range cases {
+			data := bytes.Repeat([]byte{byte(0x10 + i)}, c.n)
+			if err := f.WriteAt(p, data, c.off); err != nil {
+				t.Fatalf("%s: write: %v", c.name, err)
+			}
+			got := make([]byte, c.n)
+			if err := f.ReadAt(p, got, c.off); err != nil {
+				t.Fatalf("%s: read: %v", c.name, err)
+			}
+			if !bytes.Equal(data, got) {
+				t.Errorf("%s: round trip corrupted", c.name)
+			}
+			// The byte on each side of the write is still a hole (no
+			// earlier case wrote adjacent to it) and must read zero.
+			edge := make([]byte, 1)
+			if c.off > 0 {
+				f.ReadAt(p, edge, c.off-1)
+				if edge[0] != 0 {
+					t.Errorf("%s: byte before write = %#x, want 0", c.name, edge[0])
+				}
+			}
+			f.ReadAt(p, edge, c.off+int64(c.n))
+			if edge[0] != 0 {
+				t.Errorf("%s: byte after write = %#x, want 0", c.name, edge[0])
+			}
+		}
+	})
+	k.Run(0)
+}
+
+// A read spanning written chunk / hole chunk / written chunk must stitch
+// data and zero-fill together correctly.
+func TestReadAcrossHoleBetweenChunks(t *testing.T) {
+	k := sim.New(1)
+	k.Go("t", func(p *sim.Proc) {
+		f := NewMemFile("holes")
+		left := bytes.Repeat([]byte{0xAA}, chunkSize)
+		right := bytes.Repeat([]byte{0xBB}, chunkSize)
+		f.WriteAt(p, left, 0)            // chunk 0
+		f.WriteAt(p, right, 2*chunkSize) // chunk 2; chunk 1 is a hole
+		got := make([]byte, 3*chunkSize) // spans all three
+		if err := f.ReadAt(p, got, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got[:chunkSize], left) {
+			t.Error("left chunk corrupted")
+		}
+		if !bytes.Equal(got[chunkSize:2*chunkSize], make([]byte, chunkSize)) {
+			t.Error("hole chunk not zero-filled")
+		}
+		if !bytes.Equal(got[2*chunkSize:], right) {
+			t.Error("right chunk corrupted")
+		}
+		if f.Size() != 3*chunkSize {
+			t.Errorf("size = %d, want %d", f.Size(), 3*chunkSize)
+		}
+	})
+	k.Run(0)
+}
+
+// A read buffer larger than the leftover of a stale chunk's prior write
+// must not see the prior write's bytes beyond the hole: zero-fill is
+// per missing chunk, data per present chunk, regardless of read offset
+// alignment.
+func TestUnalignedReadOverPartialChunks(t *testing.T) {
+	k := sim.New(1)
+	k.Go("t", func(p *sim.Proc) {
+		f := NewMemFile("partial")
+		// Write only the middle third of chunk 1.
+		third := chunkSize / 3
+		data := bytes.Repeat([]byte{0xEE}, third)
+		f.WriteAt(p, data, chunkSize+int64(third))
+		// Read the whole of chunks 0..2 at an unaligned offset.
+		got := make([]byte, 2*chunkSize+99)
+		if err := f.ReadAt(p, got, 51); err != nil {
+			t.Fatal(err)
+		}
+		for i, b := range got {
+			off := int64(i) + 51
+			inWrite := off >= chunkSize+int64(third) && off < chunkSize+2*int64(third)
+			want := byte(0)
+			if inWrite {
+				want = 0xEE
+			}
+			if b != want {
+				t.Fatalf("byte at %d = %#x, want %#x", off, b, want)
+			}
+		}
+	})
+	k.Run(0)
+}

@@ -35,12 +35,14 @@ import (
 //	ErrUnavailable — backing storage is gone; fall back to base data
 //	ErrNotFound    — the named object does not exist
 //	ErrClosed      — the object was closed and cannot be used
+//	ErrCorrupt     — stored bytes failed end-to-end integrity verification
 var (
 	ErrRetryable   = fault.ErrRetryable
 	ErrRevoked     = fault.ErrRevoked
 	ErrUnavailable = fault.ErrUnavailable
 	ErrNotFound    = fault.ErrNotFound
 	ErrClosed      = fault.ErrClosed
+	ErrCorrupt     = fault.ErrCorrupt
 )
 
 // Retryable reports whether err is classified transient (wraps
@@ -81,12 +83,16 @@ type settings struct {
 	salvage      Salvage
 	bufferFrames int
 	bpextSlots   int
+	bpextBytes   int64
 	grant        int64
 	protocol     *Protocol
 	placement    *Placement
 	autoRenew    *bool
 	recover      *bool
 	remoteSrvs   int
+	replication  int
+	integrity    *bool
+	scrubEvery   time.Duration
 	semCache     EngineConfig // only the SemCache field is read
 }
 
@@ -156,6 +162,32 @@ func WithRecovery(on bool) Option { return func(s *settings) { s.recover = &on }
 // by NewTestBed.
 func WithRemoteServers(n int) Option { return func(s *settings) { s.remoteSrvs = n } }
 
+// WithReplication stripes every remote file over k replicas per stripe,
+// placed on distinct donors (anti-affinity). k > 1 implies integrity
+// framing: reads verify each block and fail over to a healthy replica on
+// corruption or revocation, with no degraded window and no salvage.
+// Consumed by MountRemoteFS and NewTestBed.
+func WithReplication(k int) Option { return func(s *settings) { s.replication = k } }
+
+// WithIntegrity enables (or disables) checksummed block framing: every
+// remote write seals each block with a CRC-32C and a generation stamp,
+// and every read verifies both, so a bit flip, torn write, or stale
+// replica surfaces as ErrCorrupt rather than silently wrong bytes.
+// Implied by WithReplication(k>1). Consumed by MountRemoteFS and
+// NewTestBed.
+func WithIntegrity(on bool) Option { return func(s *settings) { s.integrity = &on } }
+
+// WithScrubEvery starts a per-file background scrubber that sweeps one
+// stripe per tick, verifying every written block on every replica and
+// repairing latent corruption from a healthy copy (0 leaves scrubbing
+// off). Requires integrity framing. Consumed by MountRemoteFS and
+// NewTestBed.
+func WithScrubEvery(d time.Duration) Option { return func(s *settings) { s.scrubEvery = d } }
+
+// WithBPExtBytes sets the buffer-pool extension file size in bytes.
+// Consumed by NewTestBed.
+func WithBPExtBytes(bytes int64) Option { return func(s *settings) { s.bpextBytes = bytes } }
+
 // WithSemCache points the engine's semantic cache at a file factory
 // (nil leaves the cache disabled). Consumed by StartEngine.
 func WithSemCache(factory SemCacheFactory) Option {
@@ -180,10 +212,19 @@ func StartBroker(p *Proc, store *MetaStore, opts ...Option) *Broker {
 // MountRemoteFS creates the remote file system client on the database
 // server owning client, configured by options (WithProtocol,
 // WithPlacement, WithAutoRenew, WithRecovery, WithRetryPolicy,
-// WithSalvage).
+// WithSalvage, WithReplication, WithIntegrity, WithScrubEvery).
 func MountRemoteFS(p *Proc, b *Broker, client *RemoteClient, opts ...Option) *RemoteFS {
 	s := apply(opts)
 	cfg := core.DefaultConfig()
+	if s.replication > 0 {
+		cfg.Replication = s.replication
+	}
+	if s.integrity != nil {
+		cfg.Integrity = *s.integrity
+	}
+	if s.scrubEvery > 0 {
+		cfg.ScrubEvery = s.scrubEvery
+	}
 	if s.protocol != nil {
 		cfg.Protocol = *s.protocol
 	}
@@ -227,10 +268,23 @@ func StartEngine(p *Proc, server *Server, files EngineFiles, opts ...Option) (*E
 
 // NewTestBed assembles a full test bed for one of the Table 5 designs,
 // configured by options (WithStripeSize, WithLeaseTTL, WithExpirySweep,
-// WithRetryPolicy, WithRecovery, WithRemoteServers, WithBufferFrames).
+// WithRetryPolicy, WithRecovery, WithRemoteServers, WithBufferFrames,
+// WithBPExtBytes, WithReplication, WithIntegrity, WithScrubEvery).
 func NewTestBed(p *Proc, d Design, opts ...Option) (*Bed, error) {
 	s := apply(opts)
 	cfg := exp.DefaultBedConfig(d)
+	if s.replication > 0 {
+		cfg.Replication = s.replication
+	}
+	if s.integrity != nil {
+		cfg.Integrity = *s.integrity
+	}
+	if s.scrubEvery > 0 {
+		cfg.ScrubEvery = s.scrubEvery
+	}
+	if s.bpextBytes > 0 {
+		cfg.BPExtBytes = s.bpextBytes
+	}
 	if s.stripeSize > 0 {
 		cfg.MRBytes = s.stripeSize
 	}
