@@ -1,0 +1,108 @@
+// Command benchdiff compares two BENCH_<experiment>.json files produced
+// by rmbench -json and exits non-zero if any metric regressed (or
+// improved) by more than the tolerance. Wall-clock time is ignored: the
+// experiments run on a deterministic simulator, so metric values are
+// exactly reproducible and any drift beyond float noise is a real
+// behavior change.
+//
+// Usage:
+//
+//	benchdiff [-tol 0.10] baseline.json current.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+)
+
+var tol = flag.Float64("tol", 0.10, "maximum allowed relative change per metric")
+
+type benchFile struct {
+	Experiment string             `json:"experiment"`
+	Seed       int64              `json:"seed"`
+	Quick      bool               `json:"quick"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func load(path string) (*benchFile, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f benchFile
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol F] baseline.json current.json")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	cur, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	if base.Experiment != cur.Experiment {
+		fmt.Fprintf(os.Stderr, "benchdiff: comparing %q against %q\n", cur.Experiment, base.Experiment)
+		os.Exit(1)
+	}
+	var names []string
+	for name := range base.Metrics {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	failed := 0
+	for _, name := range names {
+		b := base.Metrics[name]
+		c, ok := cur.Metrics[name]
+		if !ok {
+			fmt.Printf("MISSING %-40s baseline=%g\n", name, b)
+			failed++
+			continue
+		}
+		var rel float64
+		switch {
+		case b == c:
+			rel = 0
+		case b == 0:
+			rel = math.Inf(1)
+		default:
+			rel = math.Abs(c-b) / math.Abs(b)
+		}
+		status := "ok"
+		if rel > *tol {
+			status = "FAIL"
+			failed++
+		}
+		if rel != 0 || status == "FAIL" {
+			fmt.Printf("%-4s %-40s baseline=%-12g current=%-12g (%+.1f%%)\n",
+				status, name, b, c, 100*(c-b)/math.Abs(b))
+		}
+	}
+	for name, c := range cur.Metrics {
+		if _, ok := base.Metrics[name]; !ok {
+			fmt.Printf("NEW  %-40s current=%g (not in baseline)\n", name, c)
+		}
+	}
+	if failed > 0 {
+		fmt.Printf("benchdiff: %d metric(s) moved more than %.0f%% in %s\n",
+			failed, *tol*100, cur.Experiment)
+		os.Exit(1)
+	}
+	fmt.Printf("benchdiff: %s within %.0f%% of baseline (%d metrics)\n",
+		cur.Experiment, *tol*100, len(names))
+}

@@ -32,6 +32,8 @@
 //	ablation   Table 1 design-choice ablations
 //	faults     throughput through a revocation storm + recovery
 //	scrub      silent-corruption storm + K=2 revocation storm
+//	plancache  repeated parameterized query: plan cache on vs off
+//	parscan    parallel scan over remote memory: DOP sweep
 //	all        everything above
 //
 // With -json each experiment also writes BENCH_<experiment>.json:
@@ -84,7 +86,7 @@ func run(name string) error {
 			"tables", "fig3", "fig5", "fig6", "fig7", "fig9", "fig11",
 			"fig12", "fig13", "fig14", "fig15a", "fig15b", "fig16",
 			"fig18", "fig20", "fig22", "fig24", "fig25", "fig26",
-			"fig27", "ablation", "faults", "scrub",
+			"fig27", "ablation", "faults", "scrub", "plancache", "parscan",
 		} {
 			fmt.Printf("\n===== %s =====\n", n)
 			if err := run(n); err != nil {
@@ -152,6 +154,10 @@ func dispatch(name string) error {
 		return faults()
 	case "scrub":
 		return scrub()
+	case "plancache":
+		return plancache()
+	case "parscan":
+		return parscan()
 	}
 	return fmt.Errorf("unknown experiment %q", name)
 }
@@ -607,6 +613,53 @@ func ablation() error {
 	fmt.Printf("  %-28s chosen(%s)=%v  alt(%s)=%v  (%.2fx)\n",
 		d.Choice, d.Chosen, d.ChosenLat.Round(time.Microsecond),
 		d.Alternative, d.AltLat.Round(time.Microsecond), d.Factor())
+	return nil
+}
+
+func plancache() error {
+	fmt.Println("Plan cache: one query shape, shifting PK bounds, cache on vs off")
+	prm := exp.DefaultPlanCacheParams()
+	if *quick {
+		prm.Reps = 50
+	}
+	res, err := exp.RunPlanCache(*seed, prm)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %d reps: cached=%v uncached=%v (%.1fx)\n",
+		prm.Reps, res.CachedTime.Round(time.Microsecond),
+		res.UncachedTime.Round(time.Microsecond), res.Speedup)
+	fmt.Printf("  cold query=%v warm query=%v  hits=%d misses=%d\n",
+		res.ColdLat.Round(time.Microsecond), res.WarmLat.Round(time.Microsecond),
+		res.Hits, res.Misses)
+	metric("cached_ms", float64(res.CachedTime)/float64(time.Millisecond))
+	metric("uncached_ms", float64(res.UncachedTime)/float64(time.Millisecond))
+	metricDur("cold_lat_ms", res.ColdLat)
+	metricDur("warm_lat_ms", res.WarmLat)
+	metric("speedup", res.Speedup)
+	metric("hits", float64(res.Hits))
+	metric("misses", float64(res.Misses))
+	return nil
+}
+
+func parscan() error {
+	fmt.Println("Parallel scan: lineitem count over remote memory, DOP sweep")
+	prm := exp.DefaultParScanParams()
+	if *quick {
+		prm.SF = 0.02
+		prm.DOPs = []int{1, 4, 8}
+	}
+	pts, err := exp.RunParScan(*seed, prm)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %6s %14s %16s %10s\n", "DOP", "elapsed", "rows/s", "speedup")
+	for _, pt := range pts {
+		fmt.Printf("  %6d %14v %16.0f %9.2fx\n", pt.DOP,
+			pt.Elapsed.Round(time.Microsecond), pt.RowsPerSec, pt.Speedup)
+		metric(fmt.Sprintf("dop%d/rows_per_sec", pt.DOP), pt.RowsPerSec)
+		metric(fmt.Sprintf("dop%d/speedup", pt.DOP), pt.Speedup)
+	}
 	return nil
 }
 

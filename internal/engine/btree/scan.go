@@ -113,6 +113,43 @@ func (t *Tree) ScanRange(p *sim.Proc, from, to []byte, limit int) ([]Pair, error
 	}
 }
 
+// SplitPoints returns up to n-1 separator keys that partition the key
+// space into roughly equal consecutive ranges, sampled from the root
+// node's separators (one page read). A small tree may yield fewer
+// separators than asked for; a single-level tree yields none.
+func (t *Tree) SplitPoints(p *sim.Proc, n int) ([][]byte, error) {
+	if n < 2 || t.height < 2 {
+		return nil, nil
+	}
+	h, err := t.bp.Get(p, t.root)
+	if err != nil {
+		return nil, err
+	}
+	pg := h.Page()
+	var seps [][]byte
+	for i := 1; i < pg.NumSlots(); i++ {
+		rec, err := pg.Get(i)
+		if err != nil {
+			continue
+		}
+		k, _ := decodeInner(rec)
+		if len(k) == 0 {
+			continue // -inf entry for the leftmost child
+		}
+		seps = append(seps, append([]byte(nil), k...))
+	}
+	h.Release()
+	sort.Slice(seps, func(i, j int) bool { return bytes.Compare(seps[i], seps[j]) < 0 })
+	if len(seps) <= n-1 {
+		return seps, nil
+	}
+	out := make([][]byte, 0, n-1)
+	for i := 1; i < n; i++ {
+		out = append(out, seps[i*len(seps)/n])
+	}
+	return out, nil
+}
+
 // BulkLoad builds a tree bottom-up from key-sorted pairs, filling leaves
 // to fillFactor (0 < ff <= 1). It must be called on a fresh (empty) tree
 // and is the fast path for the workload generators' initial loads.

@@ -12,6 +12,7 @@ import (
 	"remotedb/internal/engine/catalog"
 	"remotedb/internal/engine/exec"
 	"remotedb/internal/engine/opt"
+	"remotedb/internal/engine/plan"
 	"remotedb/internal/engine/semcache"
 	"remotedb/internal/engine/tempdb"
 	"remotedb/internal/engine/txn"
@@ -39,6 +40,13 @@ type Config struct {
 	Buffer       buffer.Config
 	CPU          exec.CPUProfile
 	SemCache     semcache.FileFactory // nil: semantic cache disabled
+	// PlanCacheEntries bounds the planner's plan cache
+	// (0 = default 128, negative = caching disabled).
+	PlanCacheEntries int
+	// DOP is the per-query degree of parallelism offered to the
+	// planner (0 = default 4, following SQL Server's parallel-by-default
+	// analytic plans).
+	DOP int
 }
 
 // DefaultConfig sizes the pool to frames pages with standard costs.
@@ -60,8 +68,10 @@ type Engine struct {
 	Log     *txn.LogManager
 	Cache   *semcache.Cache
 	Cost    *opt.Model
+	Planner *plan.Planner
 	CPU     exec.CPUProfile
 	Grant   int64
+	DOP     int
 }
 
 // New builds an engine on server with the given storage placement.
@@ -87,7 +97,12 @@ func New(p *sim.Proc, server *cluster.Server, files Files, cfg Config) (*Engine,
 		Cost:    opt.NewModel(),
 		CPU:     cfg.CPU,
 		Grant:   cfg.Grant,
+		DOP:     cfg.DOP,
 	}
+	if e.DOP == 0 {
+		e.DOP = 4 // SQL Server runs analytic plans parallel by default
+	}
+	e.Planner = plan.NewPlanner(e.Cost, cfg.PlanCacheEntries)
 	e.Cache = semcache.New(cfg.SemCache, e.Log)
 	return e, nil
 }
@@ -100,7 +115,7 @@ func (e *Engine) NewCtx(p *sim.Proc) *exec.Ctx {
 		Temp:   e.Temp,
 		Grant:  e.Grant,
 		CPU:    e.CPU,
-		DOP:    4, // SQL Server runs analytic plans parallel by default
+		DOP:    e.DOP,
 	}
 }
 

@@ -26,6 +26,191 @@ type Agg struct {
 	As  string
 }
 
+// aggSchema builds the output schema: group columns followed by
+// aggregate columns. Shared by HashAgg and ParallelAgg.
+func aggSchema(in *row.Schema, groupBy []string, aggs []Agg) *row.Schema {
+	var cols []row.Column
+	for _, g := range groupBy {
+		cols = append(cols, in.Columns[in.MustOrdinal(g)])
+	}
+	for _, ag := range aggs {
+		name := ag.As
+		if name == "" {
+			name = fmt.Sprintf("agg%d", len(cols))
+		}
+		typ := row.Float64
+		if ag.Fn == AggCount {
+			typ = row.Int64
+		}
+		cols = append(cols, row.Column{Name: name, Type: typ})
+	}
+	return row.NewSchema(cols...)
+}
+
+type aggState struct {
+	groupVals []interface{}
+	sums      []float64
+	counts    []int64
+	mins      []float64
+	maxs      []float64
+	seen      []bool
+}
+
+// aggCore is the group table shared by the serial HashAgg and the
+// per-worker partial aggregates of ParallelAgg. Partial states merge
+// exactly — AVG is carried as (sum, count) until emit — so a merged
+// parallel aggregate equals the serial one.
+type aggCore struct {
+	aggs      []Agg
+	groupOrds []int
+	aggOrds   []int
+	groups    map[string]*aggState
+	order     []string // deterministic output order (first appearance)
+	bytes     int64
+}
+
+func newAggCore(in *row.Schema, groupBy []string, aggs []Agg) (*aggCore, error) {
+	core := &aggCore{
+		aggs:   aggs,
+		groups: make(map[string]*aggState),
+	}
+	for _, g := range groupBy {
+		o := in.Ordinal(g)
+		if o < 0 {
+			return nil, fmt.Errorf("exec: unknown group column %q", g)
+		}
+		core.groupOrds = append(core.groupOrds, o)
+	}
+	core.aggOrds = make([]int, len(aggs))
+	for i, ag := range aggs {
+		if ag.Fn == AggCount {
+			core.aggOrds[i] = -1
+			continue
+		}
+		o := in.Ordinal(ag.Col)
+		if o < 0 {
+			return nil, fmt.Errorf("exec: unknown aggregate column %q", ag.Col)
+		}
+		core.aggOrds[i] = o
+	}
+	return core, nil
+}
+
+// add folds one input row into the group table, charging hash CPU.
+func (a *aggCore) add(c *Ctx, t row.Tuple) {
+	c.chargeCPU(c.CPU.PerHash)
+	vals := make([]interface{}, len(a.groupOrds))
+	for i, o := range a.groupOrds {
+		vals[i] = t[o]
+	}
+	key := string(row.EncodeKey(nil, vals...))
+	st, ok := a.groups[key]
+	if !ok {
+		st = &aggState{
+			groupVals: vals,
+			sums:      make([]float64, len(a.aggs)),
+			counts:    make([]int64, len(a.aggs)),
+			mins:      make([]float64, len(a.aggs)),
+			maxs:      make([]float64, len(a.aggs)),
+			seen:      make([]bool, len(a.aggs)),
+		}
+		a.groups[key] = st
+		a.order = append(a.order, key)
+		a.bytes += int64(len(key)) + int64(len(a.aggs))*40
+	}
+	for i, ag := range a.aggs {
+		st.counts[i]++
+		if ag.Fn == AggCount {
+			continue
+		}
+		v := numeric(t[a.aggOrds[i]])
+		st.sums[i] += v
+		if !st.seen[i] || v < st.mins[i] {
+			st.mins[i] = v
+		}
+		if !st.seen[i] || v > st.maxs[i] {
+			st.maxs[i] = v
+		}
+		st.seen[i] = true
+	}
+}
+
+// consume opens op, folds every row into the table, and closes op.
+func (a *aggCore) consume(c *Ctx, op Op) error {
+	if err := op.Open(c); err != nil {
+		return err
+	}
+	for {
+		t, ok, err := op.Next(c)
+		if err != nil {
+			op.Close(c)
+			return err
+		}
+		if !ok {
+			break
+		}
+		a.add(c, t)
+	}
+	return op.Close(c)
+}
+
+// mergeFrom folds another partial group table into this one.
+func (a *aggCore) mergeFrom(other *aggCore) {
+	for _, key := range other.order {
+		os := other.groups[key]
+		st, ok := a.groups[key]
+		if !ok {
+			a.groups[key] = os
+			a.order = append(a.order, key)
+			a.bytes += int64(len(key)) + int64(len(a.aggs))*40
+			continue
+		}
+		for i := range a.aggs {
+			st.counts[i] += os.counts[i]
+			st.sums[i] += os.sums[i]
+			if os.seen[i] {
+				if !st.seen[i] || os.mins[i] < st.mins[i] {
+					st.mins[i] = os.mins[i]
+				}
+				if !st.seen[i] || os.maxs[i] > st.maxs[i] {
+					st.maxs[i] = os.maxs[i]
+				}
+				st.seen[i] = true
+			}
+		}
+	}
+}
+
+// emit produces the output rows in first-appearance order.
+func (a *aggCore) emit(aggs []Agg) []row.Tuple {
+	out := make([]row.Tuple, 0, len(a.order))
+	for _, key := range a.order {
+		st := a.groups[key]
+		t := make(row.Tuple, 0, len(st.groupVals)+len(aggs))
+		t = append(t, st.groupVals...)
+		for i, ag := range aggs {
+			switch ag.Fn {
+			case AggSum:
+				t = append(t, st.sums[i])
+			case AggCount:
+				t = append(t, st.counts[i])
+			case AggMin:
+				t = append(t, st.mins[i])
+			case AggMax:
+				t = append(t, st.maxs[i])
+			case AggAvg:
+				if st.counts[i] == 0 {
+					t = append(t, 0.0)
+				} else {
+					t = append(t, st.sums[i]/float64(st.counts[i]))
+				}
+			}
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
 // HashAgg groups by GroupBy columns and computes the aggregates. Groups
 // are kept in memory; the group count in the paper's workloads is small
 // relative to the grant (aggregation state is not what spills in the
@@ -44,35 +229,10 @@ type HashAgg struct {
 	GroupBytes int64
 }
 
-type aggState struct {
-	groupVals []interface{}
-	sums      []float64
-	counts    []int64
-	mins      []float64
-	maxs      []float64
-	seen      []bool
-}
-
 // Schema returns group columns followed by aggregate columns.
 func (a *HashAgg) Schema() *row.Schema {
 	if a.schema == nil {
-		in := a.In.Schema()
-		var cols []row.Column
-		for _, g := range a.GroupBy {
-			cols = append(cols, in.Columns[in.MustOrdinal(g)])
-		}
-		for _, ag := range a.Aggs {
-			name := ag.As
-			if name == "" {
-				name = fmt.Sprintf("agg%d", len(cols))
-			}
-			typ := row.Float64
-			if ag.Fn == AggCount {
-				typ = row.Int64
-			}
-			cols = append(cols, row.Column{Name: name, Type: typ})
-		}
-		a.schema = row.NewSchema(cols...)
+		a.schema = aggSchema(a.In.Schema(), a.GroupBy, a.Aggs)
 	}
 	return a.schema
 }
@@ -90,96 +250,15 @@ func numeric(v interface{}) float64 {
 
 // Open consumes the input and builds the group table.
 func (a *HashAgg) Open(c *Ctx) error {
-	in := a.In.Schema()
-	var groupOrds []int
-	for _, g := range a.GroupBy {
-		groupOrds = append(groupOrds, in.MustOrdinal(g))
-	}
-	aggOrds := make([]int, len(a.Aggs))
-	for i, ag := range a.Aggs {
-		if ag.Fn == AggCount {
-			aggOrds[i] = -1
-			continue
-		}
-		aggOrds[i] = in.MustOrdinal(ag.Col)
-	}
-	if err := a.In.Open(c); err != nil {
+	core, err := newAggCore(a.In.Schema(), a.GroupBy, a.Aggs)
+	if err != nil {
 		return err
 	}
-	groups := make(map[string]*aggState)
-	var order []string // deterministic output order (first appearance)
-	for {
-		t, ok, err := a.In.Next(c)
-		if err != nil {
-			return err
-		}
-		if !ok {
-			break
-		}
-		c.chargeCPU(c.CPU.PerHash)
-		vals := make([]interface{}, len(groupOrds))
-		for i, o := range groupOrds {
-			vals[i] = t[o]
-		}
-		key := string(row.EncodeKey(nil, vals...))
-		st, ok := groups[key]
-		if !ok {
-			st = &aggState{
-				groupVals: vals,
-				sums:      make([]float64, len(a.Aggs)),
-				counts:    make([]int64, len(a.Aggs)),
-				mins:      make([]float64, len(a.Aggs)),
-				maxs:      make([]float64, len(a.Aggs)),
-				seen:      make([]bool, len(a.Aggs)),
-			}
-			groups[key] = st
-			order = append(order, key)
-			a.GroupBytes += int64(len(key)) + int64(len(a.Aggs))*40
-		}
-		for i, ag := range a.Aggs {
-			st.counts[i]++
-			if ag.Fn == AggCount {
-				continue
-			}
-			v := numeric(t[aggOrds[i]])
-			st.sums[i] += v
-			if !st.seen[i] || v < st.mins[i] {
-				st.mins[i] = v
-			}
-			if !st.seen[i] || v > st.maxs[i] {
-				st.maxs[i] = v
-			}
-			st.seen[i] = true
-		}
-	}
-	if err := a.In.Close(c); err != nil {
+	if err := core.consume(c, a.In); err != nil {
 		return err
 	}
-	a.out = a.out[:0]
-	for _, key := range order {
-		st := groups[key]
-		t := make(row.Tuple, 0, len(st.groupVals)+len(a.Aggs))
-		t = append(t, st.groupVals...)
-		for i, ag := range a.Aggs {
-			switch ag.Fn {
-			case AggSum:
-				t = append(t, st.sums[i])
-			case AggCount:
-				t = append(t, st.counts[i])
-			case AggMin:
-				t = append(t, st.mins[i])
-			case AggMax:
-				t = append(t, st.maxs[i])
-			case AggAvg:
-				if st.counts[i] == 0 {
-					t = append(t, 0.0)
-				} else {
-					t = append(t, st.sums[i]/float64(st.counts[i]))
-				}
-			}
-		}
-		a.out = append(a.out, t)
-	}
+	a.out = core.emit(a.Aggs)
+	a.GroupBytes = core.bytes
 	a.pos = 0
 	return nil
 }

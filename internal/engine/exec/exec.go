@@ -25,6 +25,7 @@ type CPUProfile struct {
 	PerRow  time.Duration // decode + evaluate one row
 	PerHash time.Duration // hash/probe one row
 	PerSort time.Duration // comparison-sort share per row
+	PerXchg time.Duration // move one row through an exchange merge
 }
 
 // DefaultCPUProfile matches the calibration in internal/exp.
@@ -33,6 +34,7 @@ func DefaultCPUProfile() CPUProfile {
 		PerRow:  50 * time.Nanosecond,
 		PerHash: 30 * time.Nanosecond,
 		PerSort: 60 * time.Nanosecond,
+		PerXchg: 20 * time.Nanosecond,
 	}
 }
 
@@ -78,6 +80,25 @@ func (c *Ctx) FlushCPU() {
 	}
 }
 
+// ChargeCPU accrues CPU from engine layers outside the operators (the
+// planner's optimization time, catalog work) into the same batched debt.
+func (c *Ctx) ChargeCPU(d time.Duration) { c.chargeCPU(d) }
+
+// Child derives a context for a worker process spawned inside this
+// query (an exchange producer): same server, TempDB, grant and CPU
+// profile, but the worker's own proc and its own CPU-debt batch, so
+// each worker's CPU lands on its own simulated core.
+func (c *Ctx) Child(p *sim.Proc) *Ctx {
+	return &Ctx{
+		P:      p,
+		Server: c.Server,
+		Temp:   c.Temp,
+		Grant:  c.Grant,
+		CPU:    c.CPU,
+		DOP:    1,
+	}
+}
+
 // Op is a Volcano operator.
 type Op interface {
 	Open(c *Ctx) error
@@ -89,37 +110,28 @@ type Op interface {
 // Run drains an operator tree, returning the row count (convenience for
 // benchmarks and tests that don't need the rows).
 func Run(c *Ctx, op Op) (int64, error) {
-	if err := op.Open(c); err != nil {
+	r, err := Open(c, op)
+	if err != nil {
 		return 0, err
 	}
-	var n int64
-	for {
-		_, ok, err := op.Next(c)
-		if err != nil {
-			op.Close(c)
-			return n, err
-		}
-		if !ok {
-			break
-		}
-		n++
-	}
-	err := op.Close(c)
-	c.FlushCPU()
-	c.RowsOut = n
-	return n, err
+	return r.Count()
 }
 
 // Collect drains an operator tree into a slice.
+//
+// Deprecated: use Open and consume the streaming Rows iterator (or build
+// the query with internal/engine/plan and use Planner.Stream), so the
+// result set is never buffered between operators. Collect remains for
+// tests and for consumers that genuinely need the full materialized set.
 func Collect(c *Ctx, op Op) ([]row.Tuple, error) {
-	if err := op.Open(c); err != nil {
+	r, err := Open(c, op)
+	if err != nil {
 		return nil, err
 	}
 	var out []row.Tuple
 	for {
-		t, ok, err := op.Next(c)
+		t, ok, err := r.Next()
 		if err != nil {
-			op.Close(c)
 			return out, err
 		}
 		if !ok {
@@ -127,9 +139,7 @@ func Collect(c *Ctx, op Op) ([]row.Tuple, error) {
 		}
 		out = append(out, t)
 	}
-	err := op.Close(c)
-	c.FlushCPU()
-	return out, err
+	return out, r.Close()
 }
 
 // --- TableScan -----------------------------------------------------------

@@ -72,6 +72,11 @@ func (j *HashJoin) Open(c *Ctx) error {
 	if j.Partitions <= 0 {
 		j.Partitions = 8
 	}
+	// Reset run state so a join instantiated once can be re-opened.
+	j.outBuf, j.outPos = nil, 0
+	j.probing, j.spilled = false, false
+	j.curPart, j.partReader = 0, nil
+	j.buildFiles, j.probeFiles = nil, nil
 	j.buildSchema = j.Build.Schema()
 	j.probeSchema = j.Probe.Schema()
 	j.buildOrds = nil

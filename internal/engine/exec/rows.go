@@ -1,0 +1,81 @@
+package exec
+
+import (
+	"remotedb/internal/engine/row"
+)
+
+// Rows is the streaming result iterator: the caller-facing face of the
+// Volcano pipeline. Non-blocking operators beneath it (scan, filter,
+// project, limit, join probe, exchange) hand tuples through one at a
+// time, so a consumer that stops early (or keeps only a running
+// aggregate) never pays for materializing the full result set.
+type Rows struct {
+	c      *Ctx
+	op     Op
+	n      int64
+	closed bool
+	err    error
+}
+
+// Open opens an operator tree and returns its streaming iterator. The
+// caller must Close the Rows (Close is idempotent and safe after an
+// error) to release operator state and flush accrued CPU.
+func Open(c *Ctx, op Op) (*Rows, error) {
+	if err := op.Open(c); err != nil {
+		return nil, err
+	}
+	return &Rows{c: c, op: op}, nil
+}
+
+// Schema returns the result schema.
+func (r *Rows) Schema() *row.Schema { return r.op.Schema() }
+
+// Next returns the next result row; ok=false at the end of the stream.
+func (r *Rows) Next() (row.Tuple, bool, error) {
+	if r.closed {
+		return nil, false, r.err
+	}
+	t, ok, err := r.op.Next(r.c)
+	if err != nil {
+		r.err = err
+		r.Close()
+		return nil, false, err
+	}
+	if !ok {
+		return nil, false, nil
+	}
+	r.n++
+	return t, true, nil
+}
+
+// Close releases the operator tree, flushes batched CPU debt and records
+// the row count in the context. It is idempotent.
+func (r *Rows) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	err := r.op.Close(r.c)
+	r.c.FlushCPU()
+	r.c.RowsOut = r.n
+	if r.err == nil {
+		r.err = err
+	}
+	return err
+}
+
+// Count drains the remaining stream, returning the total row count
+// (rows already consumed via Next included), and closes the iterator.
+func (r *Rows) Count() (int64, error) {
+	for {
+		_, ok, err := r.Next()
+		if err != nil {
+			return r.n, err
+		}
+		if !ok {
+			break
+		}
+	}
+	err := r.Close()
+	return r.n, err
+}

@@ -58,6 +58,9 @@ func (s *Sort) Spilled() bool { return s.spilled }
 // Open consumes the whole input, spilling sorted runs as the grant fills.
 func (s *Sort) Open(c *Ctx) error {
 	s.schema = s.In.Schema()
+	// Reset run state so a sort instantiated once can be re-opened.
+	s.rows, s.keys, s.pos = nil, nil, 0
+	s.runs, s.merge, s.spilled = nil, nil, false
 	if err := s.In.Open(c); err != nil {
 		return err
 	}

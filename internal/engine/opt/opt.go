@@ -128,6 +128,50 @@ func (m *Model) ChooseJoin(in JoinInputs) (JoinPlan, time.Duration, time.Duratio
 	return PlanHashJoin, inlj, hj
 }
 
+// ScanInputs describes a (possibly range-restricted) table scan for
+// DOP choice.
+type ScanInputs struct {
+	Rows  int64 // rows the scan will read
+	Pages int64 // pages the scan will read
+	Tier  Tier  // where the table pages live
+}
+
+// WorkerStartup is the fixed cost of spawning one parallel scan worker
+// (process setup plus its first tree descent). It is what makes small
+// scans stay serial: below ~a few thousand rows the startup dwarfs the
+// per-page savings.
+const WorkerStartup = 100 * time.Microsecond
+
+// CostScan estimates a scan at the given DOP: I/O and per-row CPU divide
+// across workers, startup is paid per worker, and the exchange merge
+// adds a small per-row toll on the consumer.
+func (m *Model) CostScan(in ScanInputs, dop int) time.Duration {
+	if dop < 1 {
+		dop = 1
+	}
+	c := m.Tiers[in.Tier]
+	work := time.Duration(in.Pages)*c.SeqPage + time.Duration(in.Rows)*m.RowCPU
+	cost := work / time.Duration(dop)
+	if dop > 1 {
+		cost += time.Duration(dop) * WorkerStartup
+		cost += time.Duration(in.Rows) * (m.RowCPU / 4) // exchange merge toll
+	}
+	return cost
+}
+
+// ChooseScanDOP picks the cheapest DOP in [1, maxDOP]. The curve flattens
+// once the merge toll and worker startup eat the division, which is the
+// model-side analogue of the NIC/core saturation in Figure 11b.
+func (m *Model) ChooseScanDOP(in ScanInputs, maxDOP int) int {
+	best, bestCost := 1, m.CostScan(in, 1)
+	for d := 2; d <= maxDOP; d++ {
+		if c := m.CostScan(in, d); c < bestCost {
+			best, bestCost = d, c
+		}
+	}
+	return best
+}
+
 // CrossoverSelectivity finds the fraction of outer rows at which the
 // model switches from INLJ to HJ (bisection over selectivity). Returns
 // 1.0 when INLJ wins everywhere, 0 when HJ wins everywhere.

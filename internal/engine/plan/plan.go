@@ -1,0 +1,187 @@
+// Package plan is the engine's logical plan layer: a fluent builder API
+// that produces normalized plan trees, a plan cache keyed on the
+// normalized form, and a lowering step where the tier-aware cost model
+// (internal/engine/opt) chooses the join strategy and scan DOP instead
+// of callers hard-coding operators.
+//
+// Plans are first-class, comparable objects: two queries that differ
+// only in their range constants normalize to the same signature
+// (prepared-statement semantics), so the second one skips optimization
+// entirely — the repeated-query regime the paper targets with millions
+// of cloud users running the same application queries.
+package plan
+
+import (
+	"remotedb/internal/engine/catalog"
+	"remotedb/internal/engine/exec"
+	"remotedb/internal/engine/row"
+)
+
+// Kind discriminates logical plan nodes.
+type Kind int
+
+// Logical node kinds.
+const (
+	KindScan Kind = iota
+	KindIndexRange
+	KindFilter
+	KindProject
+	KindLimit
+	KindJoin
+	KindAgg
+	KindSort
+	KindTop
+	KindValues
+)
+
+// Pred is a named filter predicate. The name is the predicate's
+// identity in the plan signature — the closure itself is opaque — so
+// builders must give semantically different predicates different names.
+type Pred struct {
+	Name string
+	Fn   func(row.Tuple) bool
+}
+
+// Node is one logical plan operator. Range bounds (From/To) are
+// parameters, not plan structure: they are excluded from the signature
+// and re-bound on every execution.
+type Node struct {
+	Kind     Kind
+	Children []*Node
+
+	Table *catalog.Table // Scan
+	Index *catalog.Index // IndexRange
+	From  []byte         // Scan/IndexRange lower bound (parameter)
+	To    []byte         // Scan/IndexRange upper bound (parameter)
+
+	Preds []Pred // Filter
+
+	Cols []string // Project
+
+	LeftCols  []string // Join equality columns, left input
+	RightCols []string // Join equality columns, right input
+
+	GroupBy []string   // Agg
+	Aggs    []exec.Agg // Agg
+
+	Specs []exec.SortSpec // Sort/Top
+
+	N int64 // Limit/Top/IndexRange row bound
+
+	Rows []row.Tuple // Values
+	Sch  *row.Schema // Values
+}
+
+// Builder is the fluent query-builder. Each method returns a new
+// builder wrapping the extended tree; builders are immutable and safe
+// to share as query templates.
+type Builder struct {
+	n *Node
+}
+
+// Scan reads a whole table in PK order.
+func Scan(t *catalog.Table) *Builder {
+	return &Builder{n: &Node{Kind: KindScan, Table: t}}
+}
+
+// ScanRange reads a PK range [from, to) of a table. The bounds are
+// parameters: plans differing only in bounds share a cache entry.
+func ScanRange(t *catalog.Table, from, to []byte) *Builder {
+	return &Builder{n: &Node{Kind: KindScan, Table: t, From: from, To: to}}
+}
+
+// IndexRange seeks a secondary-index range and fetches the base rows
+// (bookmark lookup). limit <= 0 means unlimited.
+func IndexRange(ix *catalog.Index, from, to []byte, limit int) *Builder {
+	return &Builder{n: &Node{Kind: KindIndexRange, Index: ix, From: from, To: to, N: int64(limit)}}
+}
+
+// Values replays a materialized row set (not cacheable: the rows are
+// the plan).
+func Values(sch *row.Schema, rows []row.Tuple) *Builder {
+	return &Builder{n: &Node{Kind: KindValues, Sch: sch, Rows: rows}}
+}
+
+// Where filters rows by a named predicate. The name identifies the
+// predicate in the plan signature.
+func (b *Builder) Where(name string, fn func(row.Tuple) bool) *Builder {
+	return &Builder{n: &Node{Kind: KindFilter, Preds: []Pred{{Name: name, Fn: fn}}, Children: []*Node{b.n}}}
+}
+
+// Select projects the named columns.
+func (b *Builder) Select(cols ...string) *Builder {
+	return &Builder{n: &Node{Kind: KindProject, Cols: cols, Children: []*Node{b.n}}}
+}
+
+// Join equi-joins with right on same-named columns. The receiver is the
+// left (build/outer) side; its column names win on output collisions.
+func (b *Builder) Join(right *Builder, cols ...string) *Builder {
+	return b.JoinOn(right, cols, cols)
+}
+
+// JoinOn equi-joins with right on leftCols = rightCols.
+func (b *Builder) JoinOn(right *Builder, leftCols, rightCols []string) *Builder {
+	return &Builder{n: &Node{
+		Kind:      KindJoin,
+		LeftCols:  leftCols,
+		RightCols: rightCols,
+		Children:  []*Node{b.n, right.n},
+	}}
+}
+
+// GroupBy hash-aggregates: group columns then one output column per
+// aggregate.
+func (b *Builder) GroupBy(groupBy []string, aggs ...exec.Agg) *Builder {
+	return &Builder{n: &Node{Kind: KindAgg, GroupBy: groupBy, Aggs: aggs, Children: []*Node{b.n}}}
+}
+
+// OrderBy sorts (externally, spilling past the grant).
+func (b *Builder) OrderBy(specs ...exec.SortSpec) *Builder {
+	return &Builder{n: &Node{Kind: KindSort, Specs: specs, Children: []*Node{b.n}}}
+}
+
+// Top keeps the first n rows of the given order.
+func (b *Builder) Top(n int, specs ...exec.SortSpec) *Builder {
+	return &Builder{n: &Node{Kind: KindTop, N: int64(n), Specs: specs, Children: []*Node{b.n}}}
+}
+
+// Limit passes at most n rows.
+func (b *Builder) Limit(n int64) *Builder {
+	return &Builder{n: &Node{Kind: KindLimit, N: n, Children: []*Node{b.n}}}
+}
+
+// Node exposes the underlying logical tree (for tests and tools).
+func (b *Builder) Node() *Node { return b.n }
+
+// normalize rewrites a tree into canonical form: chains of adjacent
+// filters collapse into one filter with predicates sorted by name (the
+// order predicates were written in does not change the result set, so
+// it must not change the signature either). Returns fresh nodes; the
+// builder's tree is never mutated.
+func normalize(n *Node) *Node {
+	out := *n
+	out.Children = make([]*Node, len(n.Children))
+	for i, ch := range n.Children {
+		out.Children[i] = normalize(ch)
+	}
+	if out.Kind == KindFilter {
+		preds := append([]Pred(nil), out.Preds...)
+		child := out.Children[0]
+		for child.Kind == KindFilter {
+			preds = append(preds, child.Preds...)
+			child = child.Children[0]
+		}
+		sortPreds(preds)
+		out.Preds = preds
+		out.Children = []*Node{child}
+	}
+	return &out
+}
+
+func sortPreds(preds []Pred) {
+	for i := 1; i < len(preds); i++ {
+		for j := i; j > 0 && preds[j].Name < preds[j-1].Name; j-- {
+			preds[j], preds[j-1] = preds[j-1], preds[j]
+		}
+	}
+}

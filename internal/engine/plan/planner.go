@@ -1,0 +1,584 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"remotedb/internal/engine/catalog"
+	"remotedb/internal/engine/exec"
+	"remotedb/internal/engine/opt"
+	"remotedb/internal/engine/row"
+)
+
+// pageRows approximates clustered rows per 8K page for cost estimation
+// (the executor does not track per-table row widths).
+const pageRows = 50
+
+// decisions holds everything optimization chose for one normalized
+// plan shape, positionally: joins[i] is the strategy of the i-th join
+// node in preorder, scanDOPs[i] the DOP of the i-th scan. The cache
+// stores decisions — never operator instances (operators carry run
+// state) and never plan-node closures (a cached closure would pin
+// whatever out-of-band state the first query captured).
+type decisions struct {
+	joins    []opt.JoinPlan
+	scanDOPs []int
+}
+
+// Planner normalizes logical plans, caches optimization decisions
+// keyed on the normalized signature, and lowers plans to executor
+// trees using the tier-aware cost model.
+type Planner struct {
+	Cost *opt.Model
+	// DataTier is where base-table and index pages live; the default
+	// assumes the buffer-pool extension serves them from remote memory.
+	DataTier opt.Tier
+	// PlanCPUPerNode is the optimization CPU charged per plan node on a
+	// cache miss; a hit charges only HitCPU. The ratio is the plan
+	// cache's entire payoff on small queries.
+	PlanCPUPerNode time.Duration
+	HitCPU         time.Duration
+
+	// Hits and Misses count cache outcomes (uncacheable plans are
+	// misses).
+	Hits, Misses int64
+
+	maxEntries int
+	cache      map[string]*decisions
+	fifo       []string
+}
+
+// NewPlanner builds a planner with a plan cache of maxEntries
+// (0 = default 128, negative = caching disabled).
+func NewPlanner(cost *opt.Model, maxEntries int) *Planner {
+	if maxEntries == 0 {
+		maxEntries = 128
+	}
+	if cost == nil {
+		cost = opt.NewModel()
+	}
+	return &Planner{
+		Cost:           cost,
+		DataTier:       opt.TierRemote,
+		PlanCPUPerNode: 250 * time.Microsecond,
+		HitCPU:         15 * time.Microsecond,
+		maxEntries:     maxEntries,
+		cache:          make(map[string]*decisions),
+	}
+}
+
+// CacheLen reports the number of cached plans.
+func (pl *Planner) CacheLen() int { return len(pl.cache) }
+
+// Stream plans, optimizes (or reuses cached decisions) and opens the
+// query, returning the streaming result iterator.
+func (pl *Planner) Stream(c *exec.Ctx, b *Builder) (*exec.Rows, error) {
+	op, err := pl.Lower(c, b)
+	if err != nil {
+		return nil, err
+	}
+	return exec.Open(c, op)
+}
+
+// Run is Stream followed by draining the iterator; it returns the row
+// count.
+func (pl *Planner) Run(c *exec.Ctx, b *Builder) (int64, error) {
+	r, err := pl.Stream(c, b)
+	if err != nil {
+		return 0, err
+	}
+	return r.Count()
+}
+
+// Lower produces the executor tree for a builder without opening it.
+// Most callers want Stream; Lower exists for consumers that manage the
+// operator themselves (the semantic cache, tests).
+func (pl *Planner) Lower(c *exec.Ctx, b *Builder) (exec.Op, error) {
+	n := normalize(b.Node())
+	var d *decisions
+	if cacheable(n) && pl.maxEntries > 0 {
+		sig := Signature(n, c.DOP)
+		if hit, ok := pl.cache[sig]; ok {
+			pl.Hits++
+			d = hit
+			c.ChargeCPU(pl.HitCPU)
+		} else {
+			pl.Misses++
+			d = pl.optimize(c, n)
+			pl.cache[sig] = d
+			pl.fifo = append(pl.fifo, sig)
+			if len(pl.fifo) > pl.maxEntries {
+				delete(pl.cache, pl.fifo[0])
+				pl.fifo = pl.fifo[1:]
+			}
+		}
+	} else {
+		pl.Misses++
+		d = pl.optimize(c, n)
+	}
+	inst := &instantiator{pl: pl, d: d}
+	op, err := inst.lower(c, n)
+	if err != nil {
+		return nil, err
+	}
+	return op, nil
+}
+
+// cacheable reports whether the plan may share cached decisions:
+// Values nodes carry their row set inline, so their plans are
+// one-shot.
+func cacheable(n *Node) bool {
+	if n.Kind == KindValues {
+		return false
+	}
+	for _, ch := range n.Children {
+		if !cacheable(ch) {
+			return false
+		}
+	}
+	return true
+}
+
+// Signature renders the normalized tree as a canonical s-expression.
+// Range bounds (From/To) are deliberately absent — they are the plan's
+// parameters — while predicate names, projection lists, join columns,
+// aggregates and limits are all structure. DOP is part of the key
+// because it changes the chosen plan.
+func Signature(n *Node, dop int) string {
+	var sb strings.Builder
+	sig(n, &sb)
+	fmt.Fprintf(&sb, "@dop%d", dop)
+	return sb.String()
+}
+
+func sig(n *Node, sb *strings.Builder) {
+	switch n.Kind {
+	case KindScan:
+		fmt.Fprintf(sb, "(scan %s)", n.Table.Name)
+	case KindIndexRange:
+		fmt.Fprintf(sb, "(ixrange %s.%s lim=%d)", n.Index.Table.Name, n.Index.Name, n.N)
+	case KindFilter:
+		sb.WriteString("(filter")
+		for _, p := range n.Preds {
+			sb.WriteByte(' ')
+			sb.WriteString(p.Name)
+		}
+		sb.WriteByte(' ')
+		sig(n.Children[0], sb)
+		sb.WriteByte(')')
+	case KindProject:
+		fmt.Fprintf(sb, "(proj %s ", strings.Join(n.Cols, ","))
+		sig(n.Children[0], sb)
+		sb.WriteByte(')')
+	case KindLimit:
+		fmt.Fprintf(sb, "(limit %d ", n.N)
+		sig(n.Children[0], sb)
+		sb.WriteByte(')')
+	case KindJoin:
+		fmt.Fprintf(sb, "(join %s=%s ", strings.Join(n.LeftCols, ","), strings.Join(n.RightCols, ","))
+		sig(n.Children[0], sb)
+		sb.WriteByte(' ')
+		sig(n.Children[1], sb)
+		sb.WriteByte(')')
+	case KindAgg:
+		fmt.Fprintf(sb, "(agg %s", strings.Join(n.GroupBy, ","))
+		for _, a := range n.Aggs {
+			fmt.Fprintf(sb, " %d:%s:%s", a.Fn, a.Col, a.As)
+		}
+		sb.WriteByte(' ')
+		sig(n.Children[0], sb)
+		sb.WriteByte(')')
+	case KindSort:
+		fmt.Fprintf(sb, "(sort %s ", specsSig(n.Specs))
+		sig(n.Children[0], sb)
+		sb.WriteByte(')')
+	case KindTop:
+		fmt.Fprintf(sb, "(top %d %s ", n.N, specsSig(n.Specs))
+		sig(n.Children[0], sb)
+		sb.WriteByte(')')
+	case KindValues:
+		fmt.Fprintf(sb, "(values n=%d)", len(n.Rows))
+	}
+}
+
+func specsSig(specs []exec.SortSpec) string {
+	parts := make([]string, len(specs))
+	for i, s := range specs {
+		dir := "asc"
+		if s.Desc {
+			dir = "desc"
+		}
+		parts[i] = s.Col + ":" + dir
+	}
+	return strings.Join(parts, ",")
+}
+
+// --- optimization ---------------------------------------------------------
+
+// optimize walks the tree in preorder choosing a strategy per join and
+// a DOP per scan, and charges the planner's optimization CPU.
+func (pl *Planner) optimize(c *exec.Ctx, n *Node) *decisions {
+	d := &decisions{}
+	nodes := pl.optNode(c, n, d)
+	c.ChargeCPU(time.Duration(nodes) * pl.PlanCPUPerNode)
+	return d
+}
+
+func (pl *Planner) optNode(c *exec.Ctx, n *Node, d *decisions) int {
+	nodes := 1
+	switch n.Kind {
+	case KindJoin:
+		d.joins = append(d.joins, pl.chooseJoin(c, n))
+	case KindScan:
+		d.scanDOPs = append(d.scanDOPs, pl.chooseDOP(c, n))
+	}
+	for _, ch := range n.Children {
+		nodes += pl.optNode(c, ch, d)
+	}
+	return nodes
+}
+
+// chooseDOP costs the scan at every DOP up to the context's budget.
+func (pl *Planner) chooseDOP(c *exec.Ctx, n *Node) int {
+	if c.DOP <= 1 {
+		return 1
+	}
+	rows := n.Table.Clustered.Entries
+	if n.From != nil || n.To != nil {
+		rows /= 4 // default range selectivity
+	}
+	in := opt.ScanInputs{Rows: rows, Pages: rows/pageRows + 1, Tier: pl.DataTier}
+	return pl.Cost.ChooseScanDOP(in, c.DOP)
+}
+
+// chooseJoin lets the tier-aware model pick INLJ vs hash join. INLJ is
+// a candidate only when the right input is a bare scan whose table has
+// a secondary index exactly on the join columns, and the two sides
+// share no column names (the operators disambiguate duplicates
+// differently, so a swap would change the output schema).
+func (pl *Planner) chooseJoin(c *exec.Ctx, n *Node) opt.JoinPlan {
+	right := n.Children[1]
+	ix := inljIndex(right, n.RightCols)
+	if ix == nil || sharesNames(n.Children[0], right) {
+		return opt.PlanHashJoin
+	}
+	inner := right.Table
+	innerRows := inner.Clustered.Entries
+	matches := int64(1)
+	outer := estRows(n.Children[0])
+	in := opt.JoinInputs{
+		OuterRows:      outer,
+		InnerRows:      innerRows,
+		InnerPages:     innerRows/pageRows + 1,
+		IndexHeight:    ix.Tree.Height(),
+		MatchesPerSeek: matches,
+		IndexTier:      pl.DataTier,
+		TableTier:      pl.DataTier,
+	}
+	plan, _, _ := pl.Cost.ChooseJoin(in)
+	return plan
+}
+
+// inljIndex returns the secondary index exactly matching cols on a bare
+// scan node, or nil.
+func inljIndex(n *Node, cols []string) *catalog.Index {
+	if n.Kind != KindScan || n.From != nil || n.To != nil {
+		return nil
+	}
+	for _, ix := range n.Table.Secondary {
+		if len(ix.Cols) != len(cols) {
+			continue
+		}
+		match := true
+		for i := range cols {
+			if ix.Cols[i] != cols[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return ix
+		}
+	}
+	return nil
+}
+
+// sharesNames reports whether the two subtrees' output schemas overlap
+// in column names. Without buffer-pool access the walk is structural:
+// it is conservative for projections below joins.
+func sharesNames(l, r *Node) bool {
+	ln := outNames(l)
+	rn := outNames(r)
+	for name := range rn {
+		if _, dup := ln[name]; dup {
+			return true
+		}
+	}
+	return false
+}
+
+func outNames(n *Node) map[string]struct{} {
+	switch n.Kind {
+	case KindScan:
+		return schemaNames(colNames(n.Table.Schema))
+	case KindIndexRange:
+		return schemaNames(colNames(n.Index.Table.Schema))
+	case KindValues:
+		return schemaNames(colNames(n.Sch))
+	case KindProject:
+		return schemaNames(n.Cols)
+	case KindAgg:
+		names := append([]string(nil), n.GroupBy...)
+		for _, a := range n.Aggs {
+			names = append(names, a.As)
+		}
+		return schemaNames(names)
+	case KindJoin:
+		out := outNames(n.Children[0])
+		for name := range outNames(n.Children[1]) {
+			out[name] = struct{}{}
+		}
+		return out
+	default:
+		return outNames(n.Children[0])
+	}
+}
+
+func schemaNames(names []string) map[string]struct{} {
+	out := make(map[string]struct{}, len(names))
+	for _, name := range names {
+		out[name] = struct{}{}
+	}
+	return out
+}
+
+func colNames(s *row.Schema) []string {
+	names := make([]string, len(s.Columns))
+	for i, col := range s.Columns {
+		names[i] = col.Name
+	}
+	return names
+}
+
+// estRows is the planner's cardinality guess, deliberately simple:
+// filters keep a third, aggregates a tenth, equi-joins track the larger
+// input (foreign-key assumption).
+func estRows(n *Node) int64 {
+	est := int64(1)
+	switch n.Kind {
+	case KindScan:
+		est = n.Table.Clustered.Entries
+		if n.From != nil || n.To != nil {
+			est /= 4
+		}
+	case KindIndexRange:
+		est = n.Index.Table.Clustered.Entries / 100
+		if n.N > 0 && n.N < est {
+			est = n.N
+		}
+	case KindFilter:
+		est = estRows(n.Children[0])
+		for range n.Preds {
+			est /= 3
+		}
+	case KindJoin:
+		l, r := estRows(n.Children[0]), estRows(n.Children[1])
+		est = l
+		if r > est {
+			est = r
+		}
+	case KindAgg:
+		est = estRows(n.Children[0]) / 10
+	case KindLimit, KindTop:
+		est = estRows(n.Children[0])
+		if n.N < est {
+			est = n.N
+		}
+	case KindValues:
+		est = int64(len(n.Rows))
+	default:
+		est = estRows(n.Children[0])
+	}
+	if est < 1 {
+		est = 1
+	}
+	return est
+}
+
+// --- lowering -------------------------------------------------------------
+
+// instantiator builds a fresh executor tree from a normalized plan,
+// consuming the positional decisions in preorder.
+type instantiator struct {
+	pl      *Planner
+	d       *decisions
+	joinIdx int
+	scanIdx int
+}
+
+func (in *instantiator) nextJoin() opt.JoinPlan {
+	if in.joinIdx < len(in.d.joins) {
+		j := in.d.joins[in.joinIdx]
+		in.joinIdx++
+		return j
+	}
+	return opt.PlanHashJoin
+}
+
+func (in *instantiator) nextScanDOP() int {
+	if in.scanIdx < len(in.d.scanDOPs) {
+		d := in.d.scanDOPs[in.scanIdx]
+		in.scanIdx++
+		return d
+	}
+	return 1
+}
+
+func (in *instantiator) lower(c *exec.Ctx, n *Node) (exec.Op, error) {
+	switch n.Kind {
+	case KindScan:
+		dop := in.nextScanDOP()
+		if dop > 1 {
+			return &exec.ParallelScan{Table: n.Table, From: n.From, To: n.To, DOP: dop}, nil
+		}
+		return &exec.TableScan{Table: n.Table, From: n.From, To: n.To}, nil
+	case KindIndexRange:
+		return &exec.IndexScan{Index: n.Index, From: n.From, To: n.To, Limit: int(n.N)}, nil
+	case KindFilter:
+		ch, err := in.lower(c, n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return &exec.Filter{In: ch, Pred: combinePreds(n.Preds)}, nil
+	case KindProject:
+		ch, err := in.lower(c, n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return &exec.Project{In: ch, Cols: n.Cols}, nil
+	case KindLimit:
+		ch, err := in.lower(c, n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return &exec.Limit{In: ch, N: n.N}, nil
+	case KindSort:
+		ch, err := in.lower(c, n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return &exec.Sort{In: ch, Specs: n.Specs}, nil
+	case KindTop:
+		ch, err := in.lower(c, n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		return &exec.TopN{In: ch, Specs: n.Specs, N: int(n.N)}, nil
+	case KindValues:
+		return &exec.Values{Rows: n.Rows, Sch: n.Sch}, nil
+	case KindJoin:
+		strat := in.nextJoin()
+		left, err := in.lower(c, n.Children[0])
+		if err != nil {
+			return nil, err
+		}
+		if strat == opt.PlanINLJ {
+			ix := inljIndex(n.Children[1], n.RightCols)
+			if ix != nil {
+				// The right scan's DOP decision still has to be consumed
+				// to keep later scans aligned.
+				in.nextScanDOP()
+				return &exec.IndexNestedLoopJoin{Outer: left, OuterCols: n.LeftCols, Inner: ix, Fetch: true}, nil
+			}
+		}
+		right, err := in.lower(c, n.Children[1])
+		if err != nil {
+			return nil, err
+		}
+		return &exec.HashJoin{Build: left, Probe: right, BuildCols: n.LeftCols, ProbeCols: n.RightCols}, nil
+	case KindAgg:
+		return in.lowerAgg(c, n)
+	}
+	return nil, fmt.Errorf("plan: unknown node kind %d", n.Kind)
+}
+
+// lowerAgg emits a ParallelAgg when the aggregate sits on a
+// scan-rooted pipeline (filters/projections only) whose scan was given
+// DOP > 1: each partition runs the whole pipeline and aggregates
+// locally, so only tiny partial group tables cross the merge.
+func (in *instantiator) lowerAgg(c *exec.Ctx, n *Node) (exec.Op, error) {
+	chain, scan := pipelineToScan(n.Children[0])
+	if scan != nil {
+		dop := in.nextScanDOP()
+		if dop > 1 {
+			ranges, err := exec.PartitionRanges(c.P, scan.Table, scan.From, scan.To, dop)
+			if err != nil {
+				return nil, err
+			}
+			if len(ranges) > 1 {
+				parts := make([]exec.Op, len(ranges))
+				for i, rg := range ranges {
+					var op exec.Op = &exec.TableScan{Table: scan.Table, From: rg[0], To: rg[1]}
+					for j := len(chain) - 1; j >= 0; j-- {
+						op = rebuildStage(chain[j], op)
+					}
+					parts[i] = op
+				}
+				return &exec.ParallelAgg{Parts: parts, GroupBy: n.GroupBy, Aggs: n.Aggs}, nil
+			}
+		}
+		var op exec.Op = &exec.TableScan{Table: scan.Table, From: scan.From, To: scan.To}
+		for j := len(chain) - 1; j >= 0; j-- {
+			op = rebuildStage(chain[j], op)
+		}
+		return &exec.HashAgg{In: op, GroupBy: n.GroupBy, Aggs: n.Aggs}, nil
+	}
+	ch, err := in.lower(c, n.Children[0])
+	if err != nil {
+		return nil, err
+	}
+	return &exec.HashAgg{In: ch, GroupBy: n.GroupBy, Aggs: n.Aggs}, nil
+}
+
+// pipelineToScan returns the Filter/Project chain (top-down) above a
+// bare scan, or a nil scan when the subtree is anything else.
+func pipelineToScan(n *Node) ([]*Node, *Node) {
+	var chain []*Node
+	for {
+		switch n.Kind {
+		case KindScan:
+			return chain, n
+		case KindFilter, KindProject:
+			chain = append(chain, n)
+			n = n.Children[0]
+		default:
+			return nil, nil
+		}
+	}
+}
+
+func rebuildStage(n *Node, in exec.Op) exec.Op {
+	if n.Kind == KindFilter {
+		return &exec.Filter{In: in, Pred: combinePreds(n.Preds)}
+	}
+	return &exec.Project{In: in, Cols: n.Cols}
+}
+
+func combinePreds(preds []Pred) func(t row.Tuple) bool {
+	if len(preds) == 1 {
+		return preds[0].Fn
+	}
+	fns := make([]func(row.Tuple) bool, len(preds))
+	for i, p := range preds {
+		fns[i] = p.Fn
+	}
+	return func(t row.Tuple) bool {
+		for _, fn := range fns {
+			if !fn(t) {
+				return false
+			}
+		}
+		return true
+	}
+}

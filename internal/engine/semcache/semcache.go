@@ -99,21 +99,37 @@ func (e *Entry) Stale() bool { return e.stale }
 // under sig. Build is opportunistic: failures (no remote memory) just
 // mean no entry.
 func (c *Cache) Build(ctx *exec.Ctx, name, sig string, op exec.Op, policy UpdatePolicy) (*Entry, error) {
-	rows, err := exec.Collect(ctx, op)
+	// Stream the source query: each row is encoded as it arrives, so the
+	// only materialization is the cache entry itself (which is the
+	// product, not a buffer).
+	r, err := exec.Open(ctx, op)
 	if err != nil {
 		return nil, err
 	}
-	schema := op.Schema()
+	schema := r.Schema()
+	var rows []row.Tuple
 	var buf []byte
 	var scratch [4]byte
-	for _, t := range rows {
+	for {
+		t, ok, err := r.Next()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			break
+		}
 		img, err := row.Encode(nil, schema, t)
 		if err != nil {
+			r.Close()
 			return nil, err
 		}
 		binary.LittleEndian.PutUint32(scratch[:], uint32(len(img)))
 		buf = append(buf, scratch[:]...)
 		buf = append(buf, img...)
+		rows = append(rows, t)
+	}
+	if err := r.Close(); err != nil {
+		return nil, err
 	}
 	capacity := int64(len(buf)) + c.Headroom
 	if capacity <= 0 {

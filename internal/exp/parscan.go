@@ -1,0 +1,88 @@
+package exp
+
+import (
+	"time"
+
+	"remotedb/internal/engine/exec"
+	"remotedb/internal/engine/plan"
+	"remotedb/internal/sim"
+)
+
+// ParScanParams sizes the parallel-scan experiment: local memory is
+// kept far below the table size and the BPExt far above it, so after a
+// warm-up pass almost every page fault is served from remote memory and
+// the sweep measures how scan throughput scales with DOP against the
+// NIC and the cores.
+type ParScanParams struct {
+	SF            float64
+	LocalMemBytes int64
+	BPExtBytes    int64
+	DOPs          []int
+}
+
+// DefaultParScanParams sweeps DOP 1..16 over the lineitem table.
+func DefaultParScanParams() ParScanParams {
+	return ParScanParams{
+		SF:            0.05,
+		LocalMemBytes: 4 << 20,
+		BPExtBytes:    96 << 20,
+		DOPs:          []int{1, 2, 4, 8, 16},
+	}
+}
+
+// ParScanPoint is one DOP of the sweep.
+type ParScanPoint struct {
+	DOP        int
+	Elapsed    time.Duration
+	RowsPerSec float64
+	Speedup    float64 // vs the DOP-1 point
+}
+
+// RunParScan runs a full-table count aggregation over lineitem at each
+// DOP. The planner lowers it to a parallel scan + partial aggregation
+// (ParallelAgg) partitioned on the clustered B-tree's root separators.
+func RunParScan(seed int64, prm ParScanParams) ([]ParScanPoint, error) {
+	var out []ParScanPoint
+	err := RunInSim(seed, 2*time.Hour, func(p *sim.Proc) error {
+		bed, db, err := newTPCHBed(p, DesignCustom, TPCHParams{
+			SF:            prm.SF,
+			LocalMemBytes: prm.LocalMemBytes,
+			BPExtBytes:    prm.BPExtBytes,
+			TempBytes:     16 << 20,
+			Grant:         8 << 20,
+			Streams:       1,
+		})
+		if err != nil {
+			return err
+		}
+		rows := db.Lineitem.Clustered.Entries
+		query := func() *plan.Builder {
+			return plan.Scan(db.Lineitem).
+				GroupBy(nil, exec.Agg{Fn: exec.AggCount, As: "n"})
+		}
+		// Warm-up: populate the BPExt so the sweep reads remote memory,
+		// not spindles.
+		if _, err := db.Planner.Run(bed.Eng.NewCtx(p), query()); err != nil {
+			return err
+		}
+		for _, dop := range prm.DOPs {
+			ctx := bed.Eng.NewCtx(p)
+			ctx.DOP = dop
+			t0 := p.Now()
+			if _, err := db.Planner.Run(ctx, query()); err != nil {
+				return err
+			}
+			pt := ParScanPoint{DOP: dop, Elapsed: p.Now() - t0}
+			pt.RowsPerSec = float64(rows) / pt.Elapsed.Seconds()
+			if len(out) > 0 && pt.Elapsed > 0 {
+				pt.Speedup = float64(out[0].Elapsed) / float64(pt.Elapsed)
+			} else {
+				pt.Speedup = 1
+			}
+			out = append(out, pt)
+		}
+		bed.Close(p)
+		return nil
+	})
+	return out, err
+}

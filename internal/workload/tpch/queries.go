@@ -4,39 +4,33 @@ import (
 	"strings"
 
 	"remotedb/internal/engine/exec"
+	"remotedb/internal/engine/plan"
 	"remotedb/internal/engine/row"
 )
 
 // Query is one of the 22 TPC-H queries, executable against a DB. Run
-// may execute several plan stages (the subquery pipelines).
+// may execute several plan stages (the subquery pipelines). Every query
+// is expressed through the plan.Builder API and runs via the DB's
+// planner, so repeated executions hit the plan cache and results stream
+// row by row.
 type Query struct {
 	ID   int
 	Name string
 	Run  func(c *exec.Ctx, db *DB) error
 }
 
-// drain runs an operator tree to completion.
-func drain(c *exec.Ctx, op exec.Op) error {
-	_, err := exec.Run(c, op)
+// run plans and drains a query, discarding the rows (the benchmark
+// measures execution, not consumption).
+func run(c *exec.Ctx, db *DB, b *plan.Builder) error {
+	_, err := db.planner().Run(c, b)
 	return err
 }
 
-// colI / colF / colS fetch typed columns with schema lookup done once at
-// plan build.
+// pred builds a single-column predicate with the schema lookup done
+// once at plan build.
 func pred(s *row.Schema, col string, f func(v interface{}) bool) func(row.Tuple) bool {
 	o := s.MustOrdinal(col)
 	return func(t row.Tuple) bool { return f(t[o]) }
-}
-
-func and(ps ...func(row.Tuple) bool) func(row.Tuple) bool {
-	return func(t row.Tuple) bool {
-		for _, p := range ps {
-			if !p(t) {
-				return false
-			}
-		}
-		return true
-	}
 }
 
 // Queries returns the 22-query set.
@@ -79,669 +73,398 @@ func QueryByID(id int) Query {
 
 func q1(c *exec.Ctx, db *DB) error {
 	li := db.Lineitem.Schema
-	return drain(c, &exec.Sort{
-		In: &exec.HashAgg{
-			In: &exec.Filter{
-				In:   &exec.TableScan{Table: db.Lineitem},
-				Pred: pred(li, "shipdate", func(v interface{}) bool { return v.(int64) <= 19980902 }),
-			},
-			GroupBy: []string{"returnflag", "linestatus"},
-			Aggs: []exec.Agg{
-				{Fn: exec.AggSum, Col: "quantity", As: "sum_qty"},
-				{Fn: exec.AggSum, Col: "extendedprice", As: "sum_base"},
-				{Fn: exec.AggAvg, Col: "quantity", As: "avg_qty"},
-				{Fn: exec.AggAvg, Col: "extendedprice", As: "avg_price"},
-				{Fn: exec.AggAvg, Col: "discount", As: "avg_disc"},
-				{Fn: exec.AggCount, As: "count_order"},
-			},
-		},
-		Specs: []exec.SortSpec{{Col: "returnflag"}, {Col: "linestatus"}},
-	})
+	return run(c, db, plan.Scan(db.Lineitem).
+		Where("shipdate<=19980902", pred(li, "shipdate", func(v interface{}) bool { return v.(int64) <= 19980902 })).
+		GroupBy([]string{"returnflag", "linestatus"},
+			exec.Agg{Fn: exec.AggSum, Col: "quantity", As: "sum_qty"},
+			exec.Agg{Fn: exec.AggSum, Col: "extendedprice", As: "sum_base"},
+			exec.Agg{Fn: exec.AggAvg, Col: "quantity", As: "avg_qty"},
+			exec.Agg{Fn: exec.AggAvg, Col: "extendedprice", As: "avg_price"},
+			exec.Agg{Fn: exec.AggAvg, Col: "discount", As: "avg_disc"},
+			exec.Agg{Fn: exec.AggCount, As: "count_order"},
+		).
+		OrderBy(exec.SortSpec{Col: "returnflag"}, exec.SortSpec{Col: "linestatus"}))
 }
 
 func q2(c *exec.Ctx, db *DB) error {
 	pt := db.Part.Schema
-	j1 := &exec.HashJoin{
-		Build: &exec.Filter{
-			In:   &exec.TableScan{Table: db.Part},
-			Pred: pred(pt, "size", func(v interface{}) bool { return v.(int64) == 15 }),
-		},
-		Probe:     &exec.TableScan{Table: db.PartSupp},
-		BuildCols: []string{"partkey"},
-		ProbeCols: []string{"partkey"},
-	}
-	j2 := &exec.HashJoin{
-		Build:     &exec.TableScan{Table: db.Supplier},
-		Probe:     j1,
-		BuildCols: []string{"suppkey"},
-		ProbeCols: []string{"suppkey"},
-	}
-	return drain(c, &exec.TopN{
-		In: &exec.HashAgg{
-			In:      j2,
-			GroupBy: []string{"partkey"},
-			Aggs:    []exec.Agg{{Fn: exec.AggMin, Col: "supplycost", As: "min_cost"}},
-		},
-		Specs: []exec.SortSpec{{Col: "min_cost"}},
-		N:     100,
-	})
+	j1 := plan.Scan(db.Part).
+		Where("size=15", pred(pt, "size", func(v interface{}) bool { return v.(int64) == 15 })).
+		Join(plan.Scan(db.PartSupp), "partkey")
+	return run(c, db, plan.Scan(db.Supplier).
+		Join(j1, "suppkey").
+		GroupBy([]string{"partkey"}, exec.Agg{Fn: exec.AggMin, Col: "supplycost", As: "min_cost"}).
+		Top(100, exec.SortSpec{Col: "min_cost"}))
 }
 
 func q3(c *exec.Ctx, db *DB) error {
 	cu, or, li := db.Customer.Schema, db.Orders.Schema, db.Lineitem.Schema
-	j1 := &exec.HashJoin{
-		Build: &exec.Filter{
-			In:   &exec.TableScan{Table: db.Customer},
-			Pred: pred(cu, "mktsegment", func(v interface{}) bool { return v.(string) == "BUILDING" }),
-		},
-		Probe: &exec.Filter{
-			In:   &exec.TableScan{Table: db.Orders},
-			Pred: pred(or, "orderdate", func(v interface{}) bool { return v.(int64) < 19950315 }),
-		},
-		BuildCols: []string{"custkey"},
-		ProbeCols: []string{"custkey"},
-	}
-	j2 := &exec.HashJoin{
-		Build: j1,
-		Probe: &exec.Filter{
-			In:   &exec.TableScan{Table: db.Lineitem},
-			Pred: pred(li, "shipdate", func(v interface{}) bool { return v.(int64) > 19950315 }),
-		},
-		BuildCols: []string{"orderkey"},
-		ProbeCols: []string{"orderkey"},
-	}
-	return drain(c, &exec.TopN{
-		In: &exec.HashAgg{
-			In:      j2,
-			GroupBy: []string{"orderkey"},
-			Aggs:    []exec.Agg{{Fn: exec.AggSum, Col: "extendedprice", As: "revenue"}},
-		},
-		Specs: []exec.SortSpec{{Col: "revenue", Desc: true}},
-		N:     10,
-	})
+	return run(c, db, plan.Scan(db.Customer).
+		Where("mktsegment=BUILDING", pred(cu, "mktsegment", func(v interface{}) bool { return v.(string) == "BUILDING" })).
+		Join(plan.Scan(db.Orders).
+			Where("orderdate<19950315", pred(or, "orderdate", func(v interface{}) bool { return v.(int64) < 19950315 })),
+			"custkey").
+		Join(plan.Scan(db.Lineitem).
+			Where("shipdate>19950315", pred(li, "shipdate", func(v interface{}) bool { return v.(int64) > 19950315 })),
+			"orderkey").
+		GroupBy([]string{"orderkey"}, exec.Agg{Fn: exec.AggSum, Col: "extendedprice", As: "revenue"}).
+		Top(10, exec.SortSpec{Col: "revenue", Desc: true}))
 }
 
 func q4(c *exec.Ctx, db *DB) error {
 	or, li := db.Orders.Schema, db.Lineitem.Schema
-	j := &exec.HashJoin{
-		Build: &exec.Filter{
-			In: &exec.TableScan{Table: db.Orders},
-			Pred: pred(or, "orderdate", func(v interface{}) bool {
-				d := v.(int64)
-				return d >= 19930701 && d < 19931001
-			}),
-		},
-		Probe: &exec.Filter{
-			In:   &exec.TableScan{Table: db.Lineitem},
-			Pred: pred(li, "receiptdate", func(v interface{}) bool { return v.(int64)%7 != 0 }),
-		},
-		BuildCols: []string{"orderkey"},
-		ProbeCols: []string{"orderkey"},
-	}
-	return drain(c, &exec.Sort{
-		In: &exec.HashAgg{
-			In:      j,
-			GroupBy: []string{"orderpriority"},
-			Aggs:    []exec.Agg{{Fn: exec.AggCount, As: "order_count"}},
-		},
-		Specs: []exec.SortSpec{{Col: "orderpriority"}},
-	})
+	return run(c, db, plan.Scan(db.Orders).
+		Where("orderdate in 1993Q3", pred(or, "orderdate", func(v interface{}) bool {
+			d := v.(int64)
+			return d >= 19930701 && d < 19931001
+		})).
+		Join(plan.Scan(db.Lineitem).
+			Where("receiptdate%7!=0", pred(li, "receiptdate", func(v interface{}) bool { return v.(int64)%7 != 0 })),
+			"orderkey").
+		GroupBy([]string{"orderpriority"}, exec.Agg{Fn: exec.AggCount, As: "order_count"}).
+		OrderBy(exec.SortSpec{Col: "orderpriority"}))
 }
 
 func q5(c *exec.Ctx, db *DB) error {
 	or := db.Orders.Schema
-	j1 := &exec.HashJoin{
-		Build: &exec.TableScan{Table: db.Customer},
-		Probe: &exec.Filter{
-			In: &exec.TableScan{Table: db.Orders},
-			Pred: pred(or, "orderdate", func(v interface{}) bool {
+	j2 := plan.Scan(db.Customer).
+		Join(plan.Scan(db.Orders).
+			Where("orderdate in 1994", pred(or, "orderdate", func(v interface{}) bool {
 				d := v.(int64)
 				return d >= 19940101 && d < 19950101
-			}),
-		},
-		BuildCols: []string{"custkey"},
-		ProbeCols: []string{"custkey"},
-	}
-	j2 := &exec.HashJoin{
-		Build:     j1,
-		Probe:     &exec.TableScan{Table: db.Lineitem},
-		BuildCols: []string{"orderkey"},
-		ProbeCols: []string{"orderkey"},
-	}
-	j3 := &exec.HashJoin{
-		Build:     &exec.TableScan{Table: db.Nation},
-		Probe:     j2,
-		BuildCols: []string{"nationkey"},
-		ProbeCols: []string{"nationkey"},
-	}
-	return drain(c, &exec.Sort{
-		In: &exec.HashAgg{
-			In:      j3,
-			GroupBy: []string{"name"},
-			Aggs:    []exec.Agg{{Fn: exec.AggSum, Col: "extendedprice", As: "revenue"}},
-		},
-		Specs: []exec.SortSpec{{Col: "revenue", Desc: true}},
-	})
+			})),
+			"custkey").
+		Join(plan.Scan(db.Lineitem), "orderkey")
+	return run(c, db, plan.Scan(db.Nation).
+		Join(j2, "nationkey").
+		GroupBy([]string{"name"}, exec.Agg{Fn: exec.AggSum, Col: "extendedprice", As: "revenue"}).
+		OrderBy(exec.SortSpec{Col: "revenue", Desc: true}))
 }
 
 func q6(c *exec.Ctx, db *DB) error {
 	li := db.Lineitem.Schema
-	return drain(c, &exec.HashAgg{
-		In: &exec.Filter{
-			In: &exec.TableScan{Table: db.Lineitem},
-			Pred: and(
-				pred(li, "shipdate", func(v interface{}) bool {
-					d := v.(int64)
-					return d >= 19940101 && d < 19950101
-				}),
-				pred(li, "discount", func(v interface{}) bool {
-					d := v.(float64)
-					return d >= 0.05 && d <= 0.07
-				}),
-				pred(li, "quantity", func(v interface{}) bool { return v.(float64) < 24 }),
-			),
-		},
-		GroupBy: nil,
-		Aggs:    []exec.Agg{{Fn: exec.AggSum, Col: "extendedprice", As: "revenue"}},
-	})
+	return run(c, db, plan.Scan(db.Lineitem).
+		Where("shipdate in 1994", pred(li, "shipdate", func(v interface{}) bool {
+			d := v.(int64)
+			return d >= 19940101 && d < 19950101
+		})).
+		Where("discount in [.05,.07]", pred(li, "discount", func(v interface{}) bool {
+			d := v.(float64)
+			return d >= 0.05 && d <= 0.07
+		})).
+		Where("quantity<24", pred(li, "quantity", func(v interface{}) bool { return v.(float64) < 24 })).
+		GroupBy(nil, exec.Agg{Fn: exec.AggSum, Col: "extendedprice", As: "revenue"}))
 }
 
 func q7(c *exec.Ctx, db *DB) error {
 	su, cu := db.Supplier.Schema, db.Customer.Schema
-	j1 := &exec.HashJoin{
-		Build: &exec.Filter{
-			In:   &exec.TableScan{Table: db.Supplier},
-			Pred: pred(su, "nationkey", func(v interface{}) bool { k := v.(int64); return k == 6 || k == 7 }),
-		},
-		Probe:     &exec.TableScan{Table: db.Lineitem},
-		BuildCols: []string{"suppkey"},
-		ProbeCols: []string{"suppkey"},
-	}
-	j2 := &exec.HashJoin{
-		Build:     j1,
-		Probe:     &exec.TableScan{Table: db.Orders},
-		BuildCols: []string{"orderkey"},
-		ProbeCols: []string{"orderkey"},
-	}
-	j3 := &exec.HashJoin{
-		Build: &exec.Filter{
-			In:   &exec.TableScan{Table: db.Customer},
-			Pred: pred(cu, "nationkey", func(v interface{}) bool { k := v.(int64); return k == 6 || k == 7 }),
-		},
-		Probe:     j2,
-		BuildCols: []string{"custkey"},
-		ProbeCols: []string{"custkey"},
-	}
-	return drain(c, &exec.Sort{
-		In: &exec.HashAgg{
-			In:      j3,
-			GroupBy: []string{"nationkey"},
-			Aggs:    []exec.Agg{{Fn: exec.AggSum, Col: "extendedprice", As: "revenue"}},
-		},
-		Specs: []exec.SortSpec{{Col: "nationkey"}},
-	})
+	j2 := plan.Scan(db.Supplier).
+		Where("nation in {6,7}", pred(su, "nationkey", func(v interface{}) bool { k := v.(int64); return k == 6 || k == 7 })).
+		Join(plan.Scan(db.Lineitem), "suppkey").
+		Join(plan.Scan(db.Orders), "orderkey")
+	return run(c, db, plan.Scan(db.Customer).
+		Where("nation in {6,7}", pred(cu, "nationkey", func(v interface{}) bool { k := v.(int64); return k == 6 || k == 7 })).
+		Join(j2, "custkey").
+		GroupBy([]string{"nationkey"}, exec.Agg{Fn: exec.AggSum, Col: "extendedprice", As: "revenue"}).
+		OrderBy(exec.SortSpec{Col: "nationkey"}))
 }
 
 func q8(c *exec.Ctx, db *DB) error {
 	pt := db.Part.Schema
-	j1 := &exec.HashJoin{
-		Build: &exec.Filter{
-			In:   &exec.TableScan{Table: db.Part},
-			Pred: pred(pt, "type", func(v interface{}) bool { return v.(string) == "ECONOMY ANODIZED STEEL" }),
-		},
-		Probe:     &exec.TableScan{Table: db.Lineitem},
-		BuildCols: []string{"partkey"},
-		ProbeCols: []string{"partkey"},
-	}
-	j2 := &exec.HashJoin{
-		Build:     j1,
-		Probe:     &exec.TableScan{Table: db.Orders},
-		BuildCols: []string{"orderkey"},
-		ProbeCols: []string{"orderkey"},
-	}
-	agg := &exec.HashAgg{
-		In:      j2,
-		GroupBy: []string{"orderdate"},
-		Aggs:    []exec.Agg{{Fn: exec.AggSum, Col: "extendedprice", As: "volume"}},
-	}
-	return drain(c, &exec.TopN{In: agg, Specs: []exec.SortSpec{{Col: "volume", Desc: true}}, N: 50})
+	return run(c, db, plan.Scan(db.Part).
+		Where("type=ECONOMY ANODIZED STEEL", pred(pt, "type", func(v interface{}) bool { return v.(string) == "ECONOMY ANODIZED STEEL" })).
+		Join(plan.Scan(db.Lineitem), "partkey").
+		Join(plan.Scan(db.Orders), "orderkey").
+		GroupBy([]string{"orderdate"}, exec.Agg{Fn: exec.AggSum, Col: "extendedprice", As: "volume"}).
+		Top(50, exec.SortSpec{Col: "volume", Desc: true}))
 }
 
 func q9(c *exec.Ctx, db *DB) error {
 	pt := db.Part.Schema
-	j1 := &exec.HashJoin{
-		Build: &exec.Filter{
-			In:   &exec.TableScan{Table: db.Part},
-			Pred: pred(pt, "name", func(v interface{}) bool { return strings.Contains(v.(string), "7") }),
-		},
-		Probe:     &exec.TableScan{Table: db.Lineitem},
-		BuildCols: []string{"partkey"},
-		ProbeCols: []string{"partkey"},
-	}
-	j2 := &exec.HashJoin{
-		Build:     &exec.TableScan{Table: db.Supplier},
-		Probe:     j1,
-		BuildCols: []string{"suppkey"},
-		ProbeCols: []string{"suppkey"},
-	}
-	return drain(c, &exec.Sort{
-		In: &exec.HashAgg{
-			In:      j2,
-			GroupBy: []string{"nationkey"},
-			Aggs:    []exec.Agg{{Fn: exec.AggSum, Col: "extendedprice", As: "profit"}},
-		},
-		Specs: []exec.SortSpec{{Col: "profit", Desc: true}},
-	})
+	j1 := plan.Scan(db.Part).
+		Where("name has 7", pred(pt, "name", func(v interface{}) bool { return strings.Contains(v.(string), "7") })).
+		Join(plan.Scan(db.Lineitem), "partkey")
+	return run(c, db, plan.Scan(db.Supplier).
+		Join(j1, "suppkey").
+		GroupBy([]string{"nationkey"}, exec.Agg{Fn: exec.AggSum, Col: "extendedprice", As: "profit"}).
+		OrderBy(exec.SortSpec{Col: "profit", Desc: true}))
 }
 
 func q10(c *exec.Ctx, db *DB) error {
 	or, li := db.Orders.Schema, db.Lineitem.Schema
-	j1 := &exec.HashJoin{
-		Build: &exec.Filter{
-			In: &exec.TableScan{Table: db.Orders},
-			Pred: pred(or, "orderdate", func(v interface{}) bool {
-				d := v.(int64)
-				return d >= 19931001 && d < 19940101
-			}),
-		},
-		Probe: &exec.Filter{
-			In:   &exec.TableScan{Table: db.Lineitem},
-			Pred: pred(li, "returnflag", func(v interface{}) bool { return v.(string) == "R" }),
-		},
-		BuildCols: []string{"orderkey"},
-		ProbeCols: []string{"orderkey"},
-	}
 	// Join up to customers, then a large group-by that the grant cannot
 	// hold: Q10 is one of the paper's two spilling queries.
-	j2 := &exec.HashJoin{
-		Build:     &exec.TableScan{Table: db.Customer},
-		Probe:     j1,
-		BuildCols: []string{"custkey"},
-		ProbeCols: []string{"custkey"},
-	}
-	return drain(c, &exec.TopN{
-		In: &exec.HashAgg{
-			In:      j2,
-			GroupBy: []string{"custkey"},
-			Aggs:    []exec.Agg{{Fn: exec.AggSum, Col: "extendedprice", As: "revenue"}},
-		},
-		Specs: []exec.SortSpec{{Col: "revenue", Desc: true}},
-		N:     20,
-	})
+	j1 := plan.Scan(db.Orders).
+		Where("orderdate in 1993Q4", pred(or, "orderdate", func(v interface{}) bool {
+			d := v.(int64)
+			return d >= 19931001 && d < 19940101
+		})).
+		Join(plan.Scan(db.Lineitem).
+			Where("returnflag=R", pred(li, "returnflag", func(v interface{}) bool { return v.(string) == "R" })),
+			"orderkey")
+	return run(c, db, plan.Scan(db.Customer).
+		Join(j1, "custkey").
+		GroupBy([]string{"custkey"}, exec.Agg{Fn: exec.AggSum, Col: "extendedprice", As: "revenue"}).
+		Top(20, exec.SortSpec{Col: "revenue", Desc: true}))
 }
 
 func q11(c *exec.Ctx, db *DB) error {
-	// Stage 1: total value.
-	j := func() exec.Op {
-		return &exec.HashJoin{
-			Build:     &exec.TableScan{Table: db.Supplier},
-			Probe:     &exec.TableScan{Table: db.PartSupp},
-			BuildCols: []string{"suppkey"},
-			ProbeCols: []string{"suppkey"},
-		}
+	// Stage 1: total value, streamed (a single scalar row).
+	join := func() *plan.Builder {
+		return plan.Scan(db.Supplier).Join(plan.Scan(db.PartSupp), "suppkey")
 	}
-	totalRows, err := exec.Collect(c, &exec.HashAgg{
-		In:   j(),
-		Aggs: []exec.Agg{{Fn: exec.AggSum, Col: "supplycost", As: "total"}},
-	})
+	rows, err := db.planner().Stream(c, join().
+		GroupBy(nil, exec.Agg{Fn: exec.AggSum, Col: "supplycost", As: "total"}))
 	if err != nil {
 		return err
 	}
 	threshold := 0.0
-	if len(totalRows) > 0 {
-		threshold = totalRows[0][0].(float64) * 0.0001
+	if t, ok, err := rows.Next(); err != nil {
+		return err
+	} else if ok {
+		threshold = t[0].(float64) * 0.0001
+	}
+	if err := rows.Close(); err != nil {
+		return err
 	}
 	// Stage 2: groups above the threshold.
-	agg := &exec.HashAgg{
-		In:      j(),
-		GroupBy: []string{"partkey"},
-		Aggs:    []exec.Agg{{Fn: exec.AggSum, Col: "supplycost", As: "value"}},
-	}
-	return drain(c, &exec.Sort{
-		In: &exec.Filter{
-			In:   agg,
-			Pred: pred(agg.Schema(), "value", func(v interface{}) bool { return v.(float64) > threshold }),
-		},
-		Specs: []exec.SortSpec{{Col: "value", Desc: true}},
-	})
+	return run(c, db, join().
+		GroupBy([]string{"partkey"}, exec.Agg{Fn: exec.AggSum, Col: "supplycost", As: "value"}).
+		Where("value>threshold", func(t row.Tuple) bool { return t[1].(float64) > threshold }).
+		OrderBy(exec.SortSpec{Col: "value", Desc: true}))
 }
 
 func q12(c *exec.Ctx, db *DB) error {
 	li := db.Lineitem.Schema
-	j := &exec.HashJoin{
-		Build: &exec.Filter{
-			In: &exec.TableScan{Table: db.Lineitem},
-			Pred: and(
-				pred(li, "shipmode", func(v interface{}) bool { m := v.(string); return m == "MAIL" || m == "SHIP" }),
-				pred(li, "receiptdate", func(v interface{}) bool {
-					d := v.(int64)
-					return d >= 19940101 && d < 19950101
-				}),
-			),
-		},
-		Probe:     &exec.TableScan{Table: db.Orders},
-		BuildCols: []string{"orderkey"},
-		ProbeCols: []string{"orderkey"},
-	}
-	return drain(c, &exec.Sort{
-		In: &exec.HashAgg{
-			In:      j,
-			GroupBy: []string{"shipmode"},
-			Aggs:    []exec.Agg{{Fn: exec.AggCount, As: "line_count"}},
-		},
-		Specs: []exec.SortSpec{{Col: "shipmode"}},
-	})
+	return run(c, db, plan.Scan(db.Lineitem).
+		Where("shipmode in {MAIL,SHIP}", pred(li, "shipmode", func(v interface{}) bool {
+			m := v.(string)
+			return m == "MAIL" || m == "SHIP"
+		})).
+		Where("receiptdate in 1994", pred(li, "receiptdate", func(v interface{}) bool {
+			d := v.(int64)
+			return d >= 19940101 && d < 19950101
+		})).
+		Join(plan.Scan(db.Orders), "orderkey").
+		GroupBy([]string{"shipmode"}, exec.Agg{Fn: exec.AggCount, As: "line_count"}).
+		OrderBy(exec.SortSpec{Col: "shipmode"}))
 }
 
 func q13(c *exec.Ctx, db *DB) error {
-	perCust := &exec.HashAgg{
-		In:      &exec.TableScan{Table: db.Orders},
-		GroupBy: []string{"custkey"},
-		Aggs:    []exec.Agg{{Fn: exec.AggCount, As: "c_count"}},
-	}
-	return drain(c, &exec.Sort{
-		In: &exec.HashAgg{
-			In:      perCust,
-			GroupBy: []string{"c_count"},
-			Aggs:    []exec.Agg{{Fn: exec.AggCount, As: "custdist"}},
-		},
-		Specs: []exec.SortSpec{{Col: "custdist", Desc: true}},
-	})
+	return run(c, db, plan.Scan(db.Orders).
+		GroupBy([]string{"custkey"}, exec.Agg{Fn: exec.AggCount, As: "c_count"}).
+		GroupBy([]string{"c_count"}, exec.Agg{Fn: exec.AggCount, As: "custdist"}).
+		OrderBy(exec.SortSpec{Col: "custdist", Desc: true}))
 }
 
 func q14(c *exec.Ctx, db *DB) error {
 	li := db.Lineitem.Schema
-	j := &exec.HashJoin{
-		Build: &exec.TableScan{Table: db.Part},
-		Probe: &exec.Filter{
-			In: &exec.TableScan{Table: db.Lineitem},
-			Pred: pred(li, "shipdate", func(v interface{}) bool {
+	return run(c, db, plan.Scan(db.Part).
+		Join(plan.Scan(db.Lineitem).
+			Where("shipdate in 1995-09", pred(li, "shipdate", func(v interface{}) bool {
 				d := v.(int64)
 				return d >= 19950901 && d < 19951001
-			}),
-		},
-		BuildCols: []string{"partkey"},
-		ProbeCols: []string{"partkey"},
-	}
-	return drain(c, &exec.HashAgg{
-		In:   j,
-		Aggs: []exec.Agg{{Fn: exec.AggSum, Col: "extendedprice", As: "revenue"}},
-	})
+			})),
+			"partkey").
+		GroupBy(nil, exec.Agg{Fn: exec.AggSum, Col: "extendedprice", As: "revenue"}))
 }
 
 func q15(c *exec.Ctx, db *DB) error {
 	li := db.Lineitem.Schema
-	perSupp := &exec.HashAgg{
-		In: &exec.Filter{
-			In: &exec.TableScan{Table: db.Lineitem},
-			Pred: pred(li, "shipdate", func(v interface{}) bool {
+	perSupp := func() *plan.Builder {
+		return plan.Scan(db.Lineitem).
+			Where("shipdate in 1996Q1", pred(li, "shipdate", func(v interface{}) bool {
 				d := v.(int64)
 				return d >= 19960101 && d < 19960401
-			}),
-		},
-		GroupBy: []string{"suppkey"},
-		Aggs:    []exec.Agg{{Fn: exec.AggSum, Col: "extendedprice", As: "total_revenue"}},
+			})).
+			GroupBy([]string{"suppkey"}, exec.Agg{Fn: exec.AggSum, Col: "extendedprice", As: "total_revenue"})
 	}
-	rows, err := exec.Collect(c, perSupp)
+	// Stage 1: find the best revenue, streaming over the groups.
+	rows, err := db.planner().Stream(c, perSupp())
 	if err != nil {
 		return err
 	}
 	best := 0.0
-	for _, t := range rows {
+	for {
+		t, ok, err := rows.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
 		if v := t[1].(float64); v > best {
 			best = v
 		}
 	}
-	rerun := &exec.HashAgg{
-		In: &exec.Filter{
-			In: &exec.TableScan{Table: db.Lineitem},
-			Pred: pred(li, "shipdate", func(v interface{}) bool {
-				d := v.(int64)
-				return d >= 19960101 && d < 19960401
-			}),
-		},
-		GroupBy: []string{"suppkey"},
-		Aggs:    []exec.Agg{{Fn: exec.AggSum, Col: "extendedprice", As: "total_revenue"}},
+	if err := rows.Close(); err != nil {
+		return err
 	}
-	return drain(c, &exec.Filter{
-		In:   rerun,
-		Pred: pred(rerun.Schema(), "total_revenue", func(v interface{}) bool { return v.(float64) >= best }),
-	})
+	// Stage 2: re-run, keeping the top supplier(s). Same shape as stage
+	// 1 up to the final filter, so it replans from the cache.
+	return run(c, db, perSupp().
+		Where("revenue=best", func(t row.Tuple) bool { return t[1].(float64) >= best }))
 }
 
 func q16(c *exec.Ctx, db *DB) error {
 	pt := db.Part.Schema
-	j := &exec.HashJoin{
-		Build: &exec.Filter{
-			In:   &exec.TableScan{Table: db.Part},
-			Pred: pred(pt, "brand", func(v interface{}) bool { return v.(string) != "Brand#45" }),
-		},
-		Probe:     &exec.TableScan{Table: db.PartSupp},
-		BuildCols: []string{"partkey"},
-		ProbeCols: []string{"partkey"},
-	}
-	return drain(c, &exec.Sort{
-		In: &exec.HashAgg{
-			In:      j,
-			GroupBy: []string{"brand", "type", "size"},
-			Aggs:    []exec.Agg{{Fn: exec.AggCount, As: "supplier_cnt"}},
-		},
-		Specs: []exec.SortSpec{{Col: "supplier_cnt", Desc: true}},
-	})
+	return run(c, db, plan.Scan(db.Part).
+		Where("brand!=45", pred(pt, "brand", func(v interface{}) bool { return v.(string) != "Brand#45" })).
+		Join(plan.Scan(db.PartSupp), "partkey").
+		GroupBy([]string{"brand", "type", "size"}, exec.Agg{Fn: exec.AggCount, As: "supplier_cnt"}).
+		OrderBy(exec.SortSpec{Col: "supplier_cnt", Desc: true}))
 }
 
 func q17(c *exec.Ctx, db *DB) error {
-	// Stage 1: average quantity per part (for the filtered brand).
-	avgRows, err := exec.Collect(c, &exec.HashAgg{
-		In:      &exec.TableScan{Table: db.Lineitem},
-		GroupBy: []string{"partkey"},
-		Aggs:    []exec.Agg{{Fn: exec.AggAvg, Col: "quantity", As: "avg_qty"}},
-	})
+	// Stage 1: average quantity per part, streamed into a lookup map
+	// (the correlated subquery's memo).
+	rows, err := db.planner().Stream(c, plan.Scan(db.Lineitem).
+		GroupBy([]string{"partkey"}, exec.Agg{Fn: exec.AggAvg, Col: "quantity", As: "avg_qty"}))
 	if err != nil {
 		return err
 	}
-	avg := make(map[int64]float64, len(avgRows))
-	for _, t := range avgRows {
+	avg := make(map[int64]float64)
+	for {
+		t, ok, err := rows.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
 		avg[t[0].(int64)] = t[1].(float64)
+	}
+	if err := rows.Close(); err != nil {
+		return err
 	}
 	pt := db.Part.Schema
 	li := db.Lineitem.Schema
 	qo := li.MustOrdinal("quantity")
 	po := li.MustOrdinal("partkey")
-	j := &exec.HashJoin{
-		Build: &exec.Filter{
-			In: &exec.TableScan{Table: db.Part},
-			Pred: and(
-				pred(pt, "brand", func(v interface{}) bool { return v.(string) == "Brand#23" }),
-				pred(pt, "container", func(v interface{}) bool { return v.(string) == "MED BOX" }),
-			),
-		},
-		Probe: &exec.Filter{
-			In: &exec.TableScan{Table: db.Lineitem},
-			Pred: func(t row.Tuple) bool {
+	return run(c, db, plan.Scan(db.Part).
+		Where("brand=23", pred(pt, "brand", func(v interface{}) bool { return v.(string) == "Brand#23" })).
+		Where("container=MED BOX", pred(pt, "container", func(v interface{}) bool { return v.(string) == "MED BOX" })).
+		Join(plan.Scan(db.Lineitem).
+			Where("qty<0.2*avg", func(t row.Tuple) bool {
 				return t[qo].(float64) < 0.2*avg[t[po].(int64)]
-			},
-		},
-		BuildCols: []string{"partkey"},
-		ProbeCols: []string{"partkey"},
-	}
-	return drain(c, &exec.HashAgg{
-		In:   j,
-		Aggs: []exec.Agg{{Fn: exec.AggSum, Col: "extendedprice", As: "avg_yearly"}},
-	})
+			}),
+			"partkey").
+		GroupBy(nil, exec.Agg{Fn: exec.AggSum, Col: "extendedprice", As: "avg_yearly"}))
 }
 
 func q18(c *exec.Ctx, db *DB) error {
 	// Large-volume customers: a full group-by over lineitem (spills —
-	// the paper's other spilling query), filtered, joined up.
-	perOrder := &exec.HashAgg{
-		In:      &exec.TableScan{Table: db.Lineitem},
-		GroupBy: []string{"orderkey"},
-		Aggs:    []exec.Agg{{Fn: exec.AggSum, Col: "quantity", As: "sum_qty"}},
-	}
-	big := &exec.Filter{
-		In:   perOrder,
-		Pred: pred(perOrder.Schema(), "sum_qty", func(v interface{}) bool { return v.(float64) > 70 }),
-	}
-	j1 := &exec.HashJoin{
-		Build:     big,
-		Probe:     &exec.TableScan{Table: db.Orders},
-		BuildCols: []string{"orderkey"},
-		ProbeCols: []string{"orderkey"},
-	}
-	// Re-join with lineitem to produce the detail rows, then sort: the
-	// memory-hungry tail of the plan.
-	j2 := &exec.HashJoin{
-		Build:     j1,
-		Probe:     &exec.TableScan{Table: db.Lineitem},
-		BuildCols: []string{"orderkey"},
-		ProbeCols: []string{"orderkey"},
-	}
-	return drain(c, &exec.TopN{
-		In:    j2,
-		Specs: []exec.SortSpec{{Col: "totalprice", Desc: true}},
-		N:     100,
-	})
+	// the paper's other spilling query), filtered, joined up, and
+	// re-joined with lineitem for the detail rows: the memory-hungry
+	// tail of the plan.
+	return run(c, db, plan.Scan(db.Lineitem).
+		GroupBy([]string{"orderkey"}, exec.Agg{Fn: exec.AggSum, Col: "quantity", As: "sum_qty"}).
+		Where("sum_qty>70", func(t row.Tuple) bool { return t[1].(float64) > 70 }).
+		Join(plan.Scan(db.Orders), "orderkey").
+		Join(plan.Scan(db.Lineitem), "orderkey").
+		Top(100, exec.SortSpec{Col: "totalprice", Desc: true}))
 }
 
 func q19(c *exec.Ctx, db *DB) error {
 	pt := db.Part.Schema
 	li := db.Lineitem.Schema
-	j := &exec.HashJoin{
-		Build: &exec.Filter{
-			In: &exec.TableScan{Table: db.Part},
-			Pred: pred(pt, "container", func(v interface{}) bool {
-				s := v.(string)
-				return s == "SM CASE" || s == "MED BOX" || s == "LG JAR"
-			}),
-		},
-		Probe: &exec.Filter{
-			In:   &exec.TableScan{Table: db.Lineitem},
-			Pred: pred(li, "quantity", func(v interface{}) bool { q := v.(float64); return q >= 1 && q <= 30 }),
-		},
-		BuildCols: []string{"partkey"},
-		ProbeCols: []string{"partkey"},
-	}
-	return drain(c, &exec.HashAgg{
-		In:   j,
-		Aggs: []exec.Agg{{Fn: exec.AggSum, Col: "extendedprice", As: "revenue"}},
-	})
+	return run(c, db, plan.Scan(db.Part).
+		Where("container in set", pred(pt, "container", func(v interface{}) bool {
+			s := v.(string)
+			return s == "SM CASE" || s == "MED BOX" || s == "LG JAR"
+		})).
+		Join(plan.Scan(db.Lineitem).
+			Where("quantity in [1,30]", pred(li, "quantity", func(v interface{}) bool {
+				q := v.(float64)
+				return q >= 1 && q <= 30
+			})),
+			"partkey").
+		GroupBy(nil, exec.Agg{Fn: exec.AggSum, Col: "extendedprice", As: "revenue"}))
 }
 
 func q20(c *exec.Ctx, db *DB) error {
 	li := db.Lineitem.Schema
-	halfQty := &exec.HashAgg{
-		In: &exec.Filter{
-			In: &exec.TableScan{Table: db.Lineitem},
-			Pred: pred(li, "shipdate", func(v interface{}) bool {
-				d := v.(int64)
-				return d >= 19940101 && d < 19950101
-			}),
-		},
-		GroupBy: []string{"partkey", "suppkey"},
-		Aggs:    []exec.Agg{{Fn: exec.AggSum, Col: "quantity", As: "half_qty"}},
-	}
-	j := &exec.HashJoin{
-		Build:     halfQty,
-		Probe:     &exec.TableScan{Table: db.PartSupp},
-		BuildCols: []string{"partkey", "suppkey"},
-		ProbeCols: []string{"partkey", "suppkey"},
-	}
-	jo := j.Schema()
-	availOrd := jo.MustOrdinal("availqty")
-	halfOrd := jo.MustOrdinal("half_qty")
-	return drain(c, &exec.HashAgg{
-		In: &exec.Filter{
-			In: j,
-			Pred: func(t row.Tuple) bool {
-				return float64(t[availOrd].(int64)) > 0.5*t[halfOrd].(float64)
-			},
-		},
-		GroupBy: []string{"suppkey_1"},
-		Aggs:    []exec.Agg{{Fn: exec.AggCount, As: "parts"}},
-	})
+	halfQty := plan.Scan(db.Lineitem).
+		Where("shipdate in 1994", pred(li, "shipdate", func(v interface{}) bool {
+			d := v.(int64)
+			return d >= 19940101 && d < 19950101
+		})).
+		GroupBy([]string{"partkey", "suppkey"}, exec.Agg{Fn: exec.AggSum, Col: "quantity", As: "half_qty"})
+	// The join output carries both sides' suppkey; the probe side's copy
+	// is disambiguated as suppkey_1 (HashJoin naming).
+	joined := halfQty.Join(plan.Scan(db.PartSupp), "partkey", "suppkey")
+	// availqty and half_qty positions in the join output: build side is
+	// [partkey suppkey half_qty], probe side follows.
+	psAvail := 3 + db.PartSupp.Schema.MustOrdinal("availqty")
+	return run(c, db, joined.
+		Where("avail>half/2", func(t row.Tuple) bool {
+			return float64(t[psAvail].(int64)) > 0.5*t[2].(float64)
+		}).
+		GroupBy([]string{"suppkey_1"}, exec.Agg{Fn: exec.AggCount, As: "parts"}))
 }
 
 func q21(c *exec.Ctx, db *DB) error {
 	li := db.Lineitem.Schema
 	or := db.Orders.Schema
-	late := &exec.Filter{
-		In:   &exec.TableScan{Table: db.Lineitem},
-		Pred: pred(li, "receiptdate", func(v interface{}) bool { return v.(int64)%5 == 0 }),
-	}
-	j1 := &exec.HashJoin{
-		Build: &exec.Filter{
-			In:   &exec.TableScan{Table: db.Orders},
-			Pred: pred(or, "orderstatus", func(v interface{}) bool { return v.(string) == "F" }),
-		},
-		Probe:     late,
-		BuildCols: []string{"orderkey"},
-		ProbeCols: []string{"orderkey"},
-	}
-	j2 := &exec.HashJoin{
-		Build:     &exec.TableScan{Table: db.Supplier},
-		Probe:     j1,
-		BuildCols: []string{"suppkey"},
-		ProbeCols: []string{"suppkey"},
-	}
-	return drain(c, &exec.TopN{
-		In: &exec.HashAgg{
-			In:      j2,
-			GroupBy: []string{"name"},
-			Aggs:    []exec.Agg{{Fn: exec.AggCount, As: "numwait"}},
-		},
-		Specs: []exec.SortSpec{{Col: "numwait", Desc: true}},
-		N:     100,
-	})
+	j1 := plan.Scan(db.Orders).
+		Where("orderstatus=F", pred(or, "orderstatus", func(v interface{}) bool { return v.(string) == "F" })).
+		Join(plan.Scan(db.Lineitem).
+			Where("receiptdate%5=0", pred(li, "receiptdate", func(v interface{}) bool { return v.(int64)%5 == 0 })),
+			"orderkey")
+	return run(c, db, plan.Scan(db.Supplier).
+		Join(j1, "suppkey").
+		GroupBy([]string{"name"}, exec.Agg{Fn: exec.AggCount, As: "numwait"}).
+		Top(100, exec.SortSpec{Col: "numwait", Desc: true}))
 }
 
 func q22(c *exec.Ctx, db *DB) error {
 	cu := db.Customer.Schema
-	// Stage 1: average positive account balance.
-	avgRows, err := exec.Collect(c, &exec.HashAgg{
-		In: &exec.Filter{
-			In:   &exec.TableScan{Table: db.Customer},
-			Pred: pred(cu, "acctbal", func(v interface{}) bool { return v.(float64) > 0 }),
-		},
-		Aggs: []exec.Agg{{Fn: exec.AggAvg, Col: "acctbal", As: "avg_bal"}},
-	})
+	// Stage 1: average positive account balance (scalar, streamed).
+	rows, err := db.planner().Stream(c, plan.Scan(db.Customer).
+		Where("acctbal>0", pred(cu, "acctbal", func(v interface{}) bool { return v.(float64) > 0 })).
+		GroupBy(nil, exec.Agg{Fn: exec.AggAvg, Col: "acctbal", As: "avg_bal"}))
 	if err != nil {
 		return err
 	}
 	avgBal := 0.0
-	if len(avgRows) > 0 {
-		avgBal = avgRows[0][0].(float64)
+	if t, ok, err := rows.Next(); err != nil {
+		return err
+	} else if ok {
+		avgBal = t[0].(float64)
 	}
-	// Stage 2: customers above average with no orders (anti join via
-	// order counts).
-	counts, err := exec.Collect(c, &exec.HashAgg{
-		In:      &exec.TableScan{Table: db.Orders},
-		GroupBy: []string{"custkey"},
-		Aggs:    []exec.Agg{{Fn: exec.AggCount, As: "n"}},
-	})
+	if err := rows.Close(); err != nil {
+		return err
+	}
+	// Stage 2: which customers have orders (anti join via order counts),
+	// streamed into the membership set.
+	counts, err := db.planner().Stream(c, plan.Scan(db.Orders).
+		GroupBy([]string{"custkey"}, exec.Agg{Fn: exec.AggCount, As: "n"}))
 	if err != nil {
 		return err
 	}
-	has := make(map[int64]bool, len(counts))
-	for _, t := range counts {
+	has := make(map[int64]bool)
+	for {
+		t, ok, err := counts.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
 		has[t[0].(int64)] = true
+	}
+	if err := counts.Close(); err != nil {
+		return err
 	}
 	ck := cu.MustOrdinal("custkey")
 	ab := cu.MustOrdinal("acctbal")
-	return drain(c, &exec.Sort{
-		In: &exec.HashAgg{
-			In: &exec.Filter{
-				In: &exec.TableScan{Table: db.Customer},
-				Pred: func(t row.Tuple) bool {
-					return t[ab].(float64) > avgBal && !has[t[ck].(int64)]
-				},
-			},
-			GroupBy: []string{"nationkey"},
-			Aggs: []exec.Agg{
-				{Fn: exec.AggCount, As: "numcust"},
-				{Fn: exec.AggSum, Col: "acctbal", As: "totacctbal"},
-			},
-		},
-		Specs: []exec.SortSpec{{Col: "nationkey"}},
-	})
+	return run(c, db, plan.Scan(db.Customer).
+		Where("bal>avg and no orders", func(t row.Tuple) bool {
+			return t[ab].(float64) > avgBal && !has[t[ck].(int64)]
+		}).
+		GroupBy([]string{"nationkey"},
+			exec.Agg{Fn: exec.AggCount, As: "numcust"},
+			exec.Agg{Fn: exec.AggSum, Col: "acctbal", As: "totacctbal"},
+		).
+		OrderBy(exec.SortSpec{Col: "nationkey"}))
 }

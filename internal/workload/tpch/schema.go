@@ -1,7 +1,8 @@
 // Package tpch implements the TPC-H stand-in used by Figures 15, 18 and
 // 19: the eight-table schema in miniature, a deterministic data
-// generator with the benchmark's cardinality ratios, and hand-built
-// physical plans for the 22 queries. Plans are simplified (no correlated
+// generator with the benchmark's cardinality ratios, and builder-based
+// logical plans for the 22 queries, optimized and cached by the plan
+// layer (internal/engine/plan). Plans are simplified (no correlated
 // subquery machinery; EXISTS/IN rewritten as joins or aggregate filters)
 // but keep each query's shape: which tables are scanned, which joins can
 // spill, what is aggregated and sorted. Per DESIGN.md §2 the scale
@@ -14,6 +15,7 @@ import (
 
 	"remotedb/internal/engine"
 	"remotedb/internal/engine/catalog"
+	"remotedb/internal/engine/plan"
 	"remotedb/internal/engine/row"
 	"remotedb/internal/sim"
 )
@@ -23,6 +25,19 @@ type DB struct {
 	SF float64
 
 	Region, Nation, Supplier, Customer, Part, PartSupp, Orders, Lineitem *catalog.Table
+
+	// Planner runs the queries: plan cache + cost-based lowering. Load
+	// wires it to the owning engine's planner.
+	Planner *plan.Planner
+}
+
+// planner returns the wired planner, or a standalone default for DBs
+// assembled without Load (tests).
+func (db *DB) planner() *plan.Planner {
+	if db.Planner == nil {
+		db.Planner = plan.NewPlanner(nil, 0)
+	}
+	return db.Planner
 }
 
 // Counts returns the row counts for a scale factor.
@@ -73,7 +88,7 @@ func mix(i, salt int) int {
 // Load generates and bulk-loads the database at scale factor sf, with
 // the DTA-style secondary indexes the paper tunes (Section 5.2).
 func Load(p *sim.Proc, eng *engine.Engine, sf float64) (*DB, error) {
-	db := &DB{SF: sf}
+	db := &DB{SF: sf, Planner: eng.Planner}
 	cat := eng.Catalog
 	nSupp, nCust, nPart, nPS, nOrd, nLine := Counts(sf)
 

@@ -1,12 +1,16 @@
 package tpch
 
 import (
+	"fmt"
+	"sort"
 	"testing"
 	"time"
 
 	"remotedb/internal/cluster"
 	"remotedb/internal/engine"
 	"remotedb/internal/engine/buffer"
+	"remotedb/internal/engine/exec"
+	"remotedb/internal/engine/plan"
 	"remotedb/internal/hw/disk"
 	"remotedb/internal/sim"
 	"remotedb/internal/vfs"
@@ -89,6 +93,136 @@ func TestSpillingQueriesSpillUnderSmallGrant(t *testing.T) {
 			if ctx.SpilledParts == 0 && ctx.SpilledRuns == 0 {
 				t.Errorf("Q%d did not spill with a 128 KiB grant", id)
 			}
+		}
+	})
+}
+
+// TestQueriesEquivalentAcrossDOP checks that every query returns the
+// same number of rows serially and with parallel scans/aggregation.
+func TestQueriesEquivalentAcrossDOP(t *testing.T) {
+	rig(t, 0.01, func(p *sim.Proc, eng *engine.Engine, db *DB) {
+		for _, q := range Queries() {
+			counts := make(map[int]int64)
+			for _, dop := range []int{1, 4} {
+				ctx := eng.NewCtx(p)
+				ctx.DOP = dop
+				if err := q.Run(ctx, db); err != nil {
+					t.Errorf("%s at DOP %d: %v", q.Name, dop, err)
+					continue
+				}
+				counts[dop] = ctx.RowsOut
+			}
+			if counts[1] != counts[4] {
+				t.Errorf("%s: DOP 1 returned %d rows, DOP 4 returned %d", q.Name, counts[1], counts[4])
+			}
+		}
+	})
+}
+
+// TestSpillingEquivalentAcrossDOP re-runs the two spilling queries with
+// a tiny grant at both DOPs: spilled and parallel plans must agree.
+func TestSpillingEquivalentAcrossDOP(t *testing.T) {
+	rig(t, 0.05, func(p *sim.Proc, eng *engine.Engine, db *DB) {
+		eng.Grant = 128 << 10
+		for _, id := range []int{10, 18} {
+			var counts [2]int64
+			for i, dop := range []int{1, 4} {
+				ctx := eng.NewCtx(p)
+				ctx.DOP = dop
+				if err := QueryByID(id).Run(ctx, db); err != nil {
+					t.Errorf("Q%d at DOP %d: %v", id, dop, err)
+					continue
+				}
+				counts[i] = ctx.RowsOut
+			}
+			if counts[0] != counts[1] {
+				t.Errorf("Q%d under spill: DOP 1 returned %d rows, DOP 4 returned %d", id, counts[0], counts[1])
+			}
+		}
+	})
+}
+
+// TestRowLevelEquivalenceAcrossDOP streams a Q1-shaped plan at DOP 1
+// and DOP 4 and compares the actual rows (floats rounded to 6
+// significant digits: parallel aggregation merges partial sums in a
+// different order, so the last ulp may differ).
+func TestRowLevelEquivalenceAcrossDOP(t *testing.T) {
+	rig(t, 0.01, func(p *sim.Proc, eng *engine.Engine, db *DB) {
+		li := db.Lineitem.Schema
+		build := func() *plan.Builder {
+			return plan.Scan(db.Lineitem).
+				Where("shipdate<=19980902", pred(li, "shipdate", func(v interface{}) bool { return v.(int64) <= 19980902 })).
+				GroupBy([]string{"returnflag", "linestatus"},
+					exec.Agg{Fn: exec.AggSum, Col: "quantity", As: "sum_qty"},
+					exec.Agg{Fn: exec.AggAvg, Col: "extendedprice", As: "avg_price"},
+					exec.Agg{Fn: exec.AggCount, As: "n"},
+				).
+				OrderBy(exec.SortSpec{Col: "returnflag"}, exec.SortSpec{Col: "linestatus"})
+		}
+		render := func(dop int) []string {
+			ctx := eng.NewCtx(p)
+			ctx.DOP = dop
+			rows, err := db.Planner.Stream(ctx, build())
+			if err != nil {
+				t.Fatalf("DOP %d: %v", dop, err)
+			}
+			var out []string
+			for {
+				tup, ok, err := rows.Next()
+				if err != nil {
+					t.Fatalf("DOP %d: %v", dop, err)
+				}
+				if !ok {
+					break
+				}
+				s := ""
+				for _, v := range tup {
+					if f, isF := v.(float64); isF {
+						s += fmt.Sprintf("|%.6g", f)
+					} else {
+						s += fmt.Sprintf("|%v", v)
+					}
+				}
+				out = append(out, s)
+			}
+			if err := rows.Close(); err != nil {
+				t.Fatalf("DOP %d close: %v", dop, err)
+			}
+			sort.Strings(out)
+			return out
+		}
+		serial, par := render(1), render(4)
+		if len(serial) != len(par) {
+			t.Fatalf("row counts differ: %d vs %d", len(serial), len(par))
+		}
+		for i := range serial {
+			if serial[i] != par[i] {
+				t.Errorf("row %d differs:\n  serial  %s\n  parallel %s", i, serial[i], par[i])
+			}
+		}
+		if len(serial) == 0 {
+			t.Error("plan returned no rows")
+		}
+	})
+}
+
+// TestPlanCacheReusedAcrossQueryRuns checks that re-running a query
+// hits the plan cache rather than re-optimizing.
+func TestPlanCacheReusedAcrossQueryRuns(t *testing.T) {
+	rig(t, 0.01, func(p *sim.Proc, eng *engine.Engine, db *DB) {
+		pl := db.Planner
+		hits0, misses0 := pl.Hits, pl.Misses
+		for i := 0; i < 3; i++ {
+			ctx := eng.NewCtx(p)
+			if err := q1(ctx, db); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if pl.Misses-misses0 != 1 {
+			t.Errorf("misses = %d, want 1 (first run only)", pl.Misses-misses0)
+		}
+		if pl.Hits-hits0 != 2 {
+			t.Errorf("hits = %d, want 2 (two re-runs)", pl.Hits-hits0)
 		}
 	})
 }

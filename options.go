@@ -94,6 +94,8 @@ type settings struct {
 	integrity    *bool
 	scrubEvery   time.Duration
 	semCache     EngineConfig // only the SemCache field is read
+	planCache    *int
+	dop          int
 }
 
 // Option parameterizes the Start*/Mount*/NewTestBed constructors.
@@ -198,6 +200,18 @@ func WithSemCache(factory SemCacheFactory) Option {
 // entry; it is how the cache is pointed at remote memory, SSD, or HDD.
 type SemCacheFactory = engine.SemCacheFactory
 
+// WithPlanCache bounds the planner's plan cache to entries cached plan
+// shapes (0 keeps the default of 128; negative disables plan caching,
+// forcing re-optimization on every query). Consumed by StartEngine.
+func WithPlanCache(entries int) Option {
+	return func(s *settings) { s.planCache = &entries }
+}
+
+// WithDOP sets the degree of intra-query parallelism offered to the
+// planner (0 keeps the default of 4; 1 forces serial plans). Consumed
+// by StartEngine.
+func WithDOP(n int) Option { return func(s *settings) { s.dop = n } }
+
 // StartBroker creates a memory broker backed by store, configured by
 // options (WithLeaseTTL).
 func StartBroker(p *Proc, store *MetaStore, opts ...Option) *Broker {
@@ -248,7 +262,7 @@ func MountRemoteFS(p *Proc, b *Broker, client *RemoteClient, opts ...Option) *Re
 
 // StartEngine assembles the mini-RDBMS on server over the given storage
 // placement, configured by options (WithBufferFrames, WithBPExtSlots,
-// WithGrant, WithSemCache).
+// WithGrant, WithSemCache, WithPlanCache, WithDOP).
 func StartEngine(p *Proc, server *Server, files EngineFiles, opts ...Option) (*Engine, error) {
 	s := apply(opts)
 	frames := s.bufferFrames
@@ -263,6 +277,15 @@ func StartEngine(p *Proc, server *Server, files EngineFiles, opts ...Option) (*E
 		cfg.Grant = s.grant
 	}
 	cfg.SemCache = s.semCache.SemCache
+	if s.planCache != nil {
+		cfg.PlanCacheEntries = *s.planCache
+		if *s.planCache < 0 {
+			cfg.PlanCacheEntries = -1
+		}
+	}
+	if s.dop > 0 {
+		cfg.DOP = s.dop
+	}
 	return engine.New(p, server, files, cfg)
 }
 

@@ -37,6 +37,9 @@ import (
 	"remotedb/internal/cluster"
 	"remotedb/internal/core"
 	"remotedb/internal/engine"
+	"remotedb/internal/engine/catalog"
+	"remotedb/internal/engine/exec"
+	"remotedb/internal/engine/plan"
 	"remotedb/internal/exp"
 	"remotedb/internal/hw/nic"
 	"remotedb/internal/rmem"
@@ -176,6 +179,29 @@ func NewEngine(p *Proc, server *Server, files EngineFiles, cfg EngineConfig) (*E
 
 // DefaultEngineConfig sizes the buffer pool to frames 8-KiB pages.
 func DefaultEngineConfig(frames int) EngineConfig { return engine.DefaultConfig(frames) }
+
+// The query layer: build queries with the fluent plan.Builder
+// (remotedb.Scan(...).Where(...).GroupBy(...)), then run them through
+// the engine's Planner, which normalizes the plan, reuses cached
+// optimization decisions (plan cache), and streams results row by row.
+type (
+	// QueryBuilder composes a logical query plan.
+	QueryBuilder = plan.Builder
+	// Planner caches plans and lowers them to executor trees.
+	Planner = plan.Planner
+	// Rows is the streaming result iterator.
+	Rows = exec.Rows
+)
+
+// Scan starts a query over a whole table in PK order.
+func Scan(t *Table) *QueryBuilder { return plan.Scan(t) }
+
+// ScanRange starts a query over a PK range [from, to). The bounds are
+// plan parameters: queries differing only in bounds share a cached plan.
+func ScanRange(t *Table, from, to []byte) *QueryBuilder { return plan.ScanRange(t, from, to) }
+
+// Table is a clustered table with optional secondary indexes.
+type Table = catalog.Table
 
 // Experiment harness (one runner per table/figure; see EXPERIMENTS.md).
 type (
