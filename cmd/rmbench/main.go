@@ -34,6 +34,9 @@
 //	scrub      silent-corruption storm + K=2 revocation storm
 //	plancache  repeated parameterized query: plan cache on vs off
 //	parscan    parallel scan over remote memory: DOP sweep
+//	iobatch    vectored I/O: batched vs per-page transfers, burst
+//	           priming, eviction storm with batched I/O off vs on
+//	evict      eviction policy A/B: clock sweep vs cost-aware GDSF
 //	all        everything above
 //
 // With -json each experiment also writes BENCH_<experiment>.json:
@@ -87,6 +90,7 @@ func run(name string) error {
 			"fig12", "fig13", "fig14", "fig15a", "fig15b", "fig16",
 			"fig18", "fig20", "fig22", "fig24", "fig25", "fig26",
 			"fig27", "ablation", "faults", "scrub", "plancache", "parscan",
+			"iobatch", "evict",
 		} {
 			fmt.Printf("\n===== %s =====\n", n)
 			if err := run(n); err != nil {
@@ -158,8 +162,74 @@ func dispatch(name string) error {
 		return plancache()
 	case "parscan":
 		return parscan()
+	case "iobatch":
+		return iobatch()
+	case "evict":
+		return evict()
 	}
 	return fmt.Errorf("unknown experiment %q", name)
+}
+
+func iobatch() error {
+	fmt.Println("Vectored I/O: per-page vs doorbell-batched transfers, burst")
+	fmt.Println("priming, and an eviction storm with batched I/O off vs on")
+	prm := exp.DefaultIOBatchParams()
+	if *quick {
+		prm.Pages = 128
+		prm.PrimePages = 256
+		prm.StormPages = 192
+		prm.Frames = 32
+	}
+	res, err := exp.RunIOBatch(*seed, prm)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %s\n", res)
+	metric("scalar_round_trips", float64(res.ScalarRT))
+	metric("batched_round_trips", float64(res.BatchedRT))
+	metric("rt_reduction", res.RTReduction)
+	metric("read_speedup", res.ReadSpeedup)
+	metric("write_speedup", res.WriteSpeedup)
+	metricDur("prime_scalar_ms", res.PrimeScalar)
+	metricDur("prime_burst_ms", res.PrimeBurst)
+	metric("prime_speedup", res.PrimeSpeedup)
+	metricDur("storm_scalar_ms", res.StormScalar)
+	metricDur("storm_batched_ms", res.StormBatched)
+	metric("storm_scalar_round_trips", float64(res.StormScalarRT))
+	metric("storm_batched_round_trips", float64(res.StormBatchedRT))
+	metric("storm_speedup", res.StormSpeedup)
+	metric("staging_waits", float64(res.StagingWaits))
+	metric("staging_wait_ms", res.StagingWaitMS)
+	metric("staging_highwater", float64(res.StagingHighWater))
+	return nil
+}
+
+func evict() error {
+	fmt.Println("Eviction policy A/B: clock sweep vs cost-aware GDSF under a")
+	fmt.Println("Zipf working set with 10% writes")
+	prm := exp.DefaultEvictParams()
+	if *quick {
+		prm.Frames = 128
+		prm.Pages = 1024
+		prm.Accesses = 5000
+	}
+	res, err := exp.RunEvict(*seed, prm)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %s\n  %s\n", res.Clock, res.GDSF)
+	fmt.Printf("  GDSF: %+.1f hit points, %.2fx stall speedup\n", res.HitDelta, res.Speedup)
+	metric("clock_hit_rate", res.Clock.HitRate)
+	metric("gdsf_hit_rate", res.GDSF.HitRate)
+	metric("clock_disk_reads", float64(res.Clock.DiskReads))
+	metric("gdsf_disk_reads", float64(res.GDSF.DiskReads))
+	metricDur("clock_elapsed_ms", res.Clock.Elapsed)
+	metricDur("gdsf_elapsed_ms", res.GDSF.Elapsed)
+	metric("clock_writeback_bytes", float64(res.Clock.WriteBackBytes))
+	metric("gdsf_writeback_bytes", float64(res.GDSF.WriteBackBytes))
+	metric("hit_delta_points", res.HitDelta)
+	metric("speedup", res.Speedup)
+	return nil
 }
 
 func tables() error {

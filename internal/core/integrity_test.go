@@ -323,6 +323,244 @@ func TestScrubberFindsAndRepairsLatentCorruption(t *testing.T) {
 	k.Run(time.Minute)
 }
 
+func TestVectoredSpansStripeBoundaries(t *testing.T) {
+	k := sim.New(1)
+	k.Go("t", func(p *sim.Proc) {
+		e := newEnv(p, 2, 8, integrityCfg(1))
+		f, _ := e.fs.Create(p, "f", 3<<20)
+		f.OpenConn(p)
+		// Elements straddling the stripe boundary must split cleanly
+		// across the two MRs inside one batch.
+		var wv []vfs.Vec
+		off := f.stripeCap - 8192
+		for i := 0; i < 4; i++ {
+			wv = append(wv, vfs.Vec{Off: off, Buf: pattern(8192, byte(i+1))})
+			off += 8192
+		}
+		if err := f.WriteAtV(p, wv); err != nil {
+			t.Error(err)
+			return
+		}
+		var rv []vfs.Vec
+		for _, v := range wv {
+			rv = append(rv, vfs.Vec{Off: v.Off, Buf: make([]byte, len(v.Buf))})
+		}
+		if err := f.ReadAtV(p, rv); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := range rv {
+			if !bytes.Equal(rv[i].Buf, wv[i].Buf) {
+				t.Errorf("element %d corrupted across stripe boundary", i)
+			}
+		}
+		// The batch must charge fewer round trips than one per block.
+		blocks := int64(4 * 8192 / e.fs.BlockSize)
+		before := e.fs.Client.RoundTrips
+		if err := f.ReadAtV(p, rv); err != nil {
+			t.Error(err)
+			return
+		}
+		if got := e.fs.Client.RoundTrips - before; got >= blocks {
+			t.Errorf("vectored read charged %d round trips for %d blocks", got, blocks)
+		}
+	})
+	k.Run(time.Minute)
+}
+
+func TestVectoredUnframedSpansStripes(t *testing.T) {
+	k := sim.New(1)
+	k.Go("t", func(p *sim.Proc) {
+		e := newEnv(p, 2, 8, DefaultConfig())
+		f, _ := e.fs.Create(p, "f", 4<<20)
+		f.OpenConn(p)
+		wv := []vfs.Vec{
+			{Off: f.stripeCap - 4096, Buf: pattern(8192, 3)}, // straddles stripes 0/1
+			{Off: 0, Buf: pattern(8192, 5)},
+			{Off: 2 * f.stripeCap, Buf: pattern(8192, 7)},
+		}
+		if err := f.WriteAtV(p, wv); err != nil {
+			t.Error(err)
+			return
+		}
+		rv := []vfs.Vec{
+			{Off: wv[0].Off, Buf: make([]byte, 8192)},
+			{Off: wv[1].Off, Buf: make([]byte, 8192)},
+			{Off: wv[2].Off, Buf: make([]byte, 8192)},
+		}
+		before := e.fs.Client.RoundTrips
+		if err := f.ReadAtV(p, rv); err != nil {
+			t.Error(err)
+			return
+		}
+		rts := e.fs.Client.RoundTrips - before
+		for i := range rv {
+			if !bytes.Equal(rv[i].Buf, wv[i].Buf) {
+				t.Errorf("element %d corrupted", i)
+			}
+		}
+		// 4 fragments over at most 3 distinct donors: batching must beat
+		// one round trip per fragment.
+		if rts >= 4 {
+			t.Errorf("unframed vectored read charged %d round trips for 4 fragments", rts)
+		}
+	})
+	k.Run(time.Minute)
+}
+
+func TestVectoredDegradedStripeMidVector(t *testing.T) {
+	k := sim.New(1)
+	k.Go("t", func(p *sim.Proc) {
+		e := newEnv(p, 2, 8, DefaultConfig())
+		f, _ := e.fs.Create(p, "f", 2<<20)
+		f.OpenConn(p)
+		f.WriteAt(p, pattern(8192, 1), 0)
+		f.WriteAt(p, pattern(8192, 2), f.stripeCap)
+		// Lose stripe 1 (single replica): while its repair is in flight a
+		// vector touching it must fail degraded, while one confined to
+		// stripe 0 still serves.
+		e.b.Revoke(f.LeaseIDs()[1])
+		err := f.ReadAtV(p, []vfs.Vec{
+			{Off: 0, Buf: make([]byte, 8192)},
+			{Off: f.stripeCap, Buf: make([]byte, 8192)},
+		})
+		if !errors.Is(err, vfs.ErrUnavailable) {
+			t.Errorf("vector over lost stripe: %v, want ErrUnavailable", err)
+		}
+		got := make([]byte, 8192)
+		if err := f.ReadAtV(p, []vfs.Vec{{Off: 0, Buf: got}}); err != nil {
+			t.Errorf("vector on surviving stripe: %v", err)
+		}
+		if !bytes.Equal(got, pattern(8192, 1)) {
+			t.Error("surviving stripe served wrong bytes")
+		}
+	})
+	k.Run(time.Minute)
+}
+
+func TestVectoredReplicaFailoverInsideBatch(t *testing.T) {
+	k := sim.New(1)
+	k.Go("t", func(p *sim.Proc) {
+		e := newEnv(p, 3, 8, integrityCfg(2))
+		f, _ := e.fs.Create(p, "f", 1<<20)
+		f.OpenConn(p)
+		data := pattern(64<<10, 5)
+		f.WriteAt(p, data, 0)
+		// Revoke the primary: every element of the batch must fail over
+		// to the surviving replica with no error surfacing.
+		e.b.Revoke(f.LeaseIDs()[0])
+		var rv []vfs.Vec
+		for off := int64(0); off < int64(len(data)); off += 8192 {
+			rv = append(rv, vfs.Vec{Off: off, Buf: make([]byte, 8192)})
+		}
+		if err := f.ReadAtV(p, rv); err != nil {
+			t.Errorf("vectored read during replica loss: %v", err)
+			return
+		}
+		for i, v := range rv {
+			if !bytes.Equal(v.Buf, data[v.Off:v.Off+8192]) {
+				t.Errorf("element %d wrong during failover", i)
+			}
+		}
+		if e.fs.Failovers.N == 0 {
+			t.Error("failover not accounted")
+		}
+		// Writes fan out to the survivor, and read back correctly.
+		wv := []vfs.Vec{{Off: 0, Buf: pattern(8192, 9)}}
+		if err := f.WriteAtV(p, wv); err != nil {
+			t.Errorf("vectored write during replica loss: %v", err)
+		}
+		got := make([]byte, 8192)
+		if err := f.ReadAt(p, got, 0); err != nil {
+			t.Error(err)
+		}
+		if !bytes.Equal(got, wv[0].Buf) {
+			t.Error("write during failover lost")
+		}
+	})
+	k.Run(time.Minute)
+}
+
+func TestVectoredVerifiesEveryElement(t *testing.T) {
+	k := sim.New(1)
+	k.Go("t", func(p *sim.Proc) {
+		e := newEnv(p, 2, 8, integrityCfg(2))
+		f, _ := e.fs.Create(p, "f", 1<<20)
+		f.OpenConn(p)
+		data := pattern(64<<10, 4)
+		f.WriteAt(p, data, 0)
+		// Corrupt two scattered blocks on the primary. The batch read
+		// must catch both elements, serve them from the replica, and
+		// repair the bad copies — identical semantics to scalar reads.
+		if !f.InjectBlockFlip(1, 0) || !f.InjectBlockTear(5, 0) {
+			t.Error("injection failed")
+			return
+		}
+		var rv []vfs.Vec
+		for off := int64(0); off < int64(len(data)); off += 8192 {
+			rv = append(rv, vfs.Vec{Off: off, Buf: make([]byte, 8192)})
+		}
+		if err := f.ReadAtV(p, rv); err != nil {
+			t.Errorf("vectored read over corrupt blocks: %v", err)
+			return
+		}
+		for i, v := range rv {
+			if !bytes.Equal(v.Buf, data[v.Off:v.Off+8192]) {
+				t.Errorf("element %d served silently wrong bytes", i)
+			}
+		}
+		if e.fs.Corruptions.N < 2 {
+			t.Errorf("corruptions detected = %d, want >= 2", e.fs.Corruptions.N)
+		}
+		if e.fs.Repairs.N < 2 {
+			t.Errorf("repairs = %d, want >= 2", e.fs.Repairs.N)
+		}
+		// Both copies repaired: a second batch is clean.
+		n := e.fs.Corruptions.N
+		if err := f.ReadAtV(p, rv); err != nil {
+			t.Error(err)
+		}
+		if e.fs.Corruptions.N != n {
+			t.Error("repair did not stick under vectored re-read")
+		}
+	})
+	k.Run(time.Minute)
+}
+
+func TestVectoredPartialBlocksTakeMergePath(t *testing.T) {
+	k := sim.New(1)
+	k.Go("t", func(p *sim.Proc) {
+		e := newEnv(p, 2, 8, integrityCfg(1))
+		f, _ := e.fs.Create(p, "f", 1<<20)
+		f.OpenConn(p)
+		base := pattern(16<<10, 6)
+		f.WriteAt(p, base, 0)
+		// An unaligned element must read-merge-write, preserving the
+		// bytes around it; the aligned element goes batched.
+		patch := pattern(1000, 13)
+		wv := []vfs.Vec{
+			{Off: 100, Buf: patch},
+			{Off: 8192, Buf: pattern(8192, 14)},
+		}
+		if err := f.WriteAtV(p, wv); err != nil {
+			t.Error(err)
+			return
+		}
+		want := append([]byte(nil), base...)
+		copy(want[100:], patch)
+		copy(want[8192:], wv[1].Buf)
+		got := make([]byte, len(base))
+		if err := f.ReadAt(p, got, 0); err != nil {
+			t.Error(err)
+			return
+		}
+		if !bytes.Equal(want, got) {
+			t.Error("partial vectored write merged wrong")
+		}
+	})
+	k.Run(time.Minute)
+}
+
 func TestAllReplicasLostFallsBackToSalvage(t *testing.T) {
 	k := sim.New(1)
 	k.Go("t", func(p *sim.Proc) {

@@ -1,0 +1,392 @@
+// Vectored scatter-gather I/O over remote files. ReadAtV/WriteAtV split
+// a vector of (offset, buffer) elements across stripes and replicas and
+// push everything through the rmem layer's doorbell-batched ReadV/WriteV,
+// so a multi-page transfer pays one charged round trip per destination
+// server instead of one per page. The framed (integrity) path batches
+// the happy case — each block's frame fetched from its first healthy
+// replica, writes fanned out to all of them — and falls back to the
+// scalar verify-and-fail-over machinery for any element that does not
+// come back verified, so the integrity guarantees are byte-for-byte the
+// same as ReadAt/WriteAt.
+package core
+
+import (
+	"errors"
+	"sort"
+
+	"remotedb/internal/rmem"
+	"remotedb/internal/sim"
+	"remotedb/internal/vfs"
+)
+
+// ReadAtV reads every element of vecs, batching the underlying
+// transfers. Partial completion is possible on error, as with a scalar
+// loop; callers needing to localize a failure retry per element.
+func (f *File) ReadAtV(p *sim.Proc, vecs []vfs.Vec) error {
+	for _, v := range vecs {
+		if err := f.check(v.Off, len(v.Buf)); err != nil {
+			return err
+		}
+	}
+	var err error
+	if f.fs.Integrity {
+		err = f.framedReadV(p, vecs)
+	} else {
+		err = f.accessV(p, vecs, false)
+	}
+	if err == nil {
+		for _, v := range vecs {
+			f.BytesRead += int64(len(v.Buf))
+		}
+	}
+	return err
+}
+
+// WriteAtV writes every element of vecs, batching the underlying
+// transfers. Elements must not overlap (overlapping segments of a block
+// degrade to sequential scalar writes).
+func (f *File) WriteAtV(p *sim.Proc, vecs []vfs.Vec) error {
+	for _, v := range vecs {
+		if err := f.check(v.Off, len(v.Buf)); err != nil {
+			return err
+		}
+	}
+	var err error
+	if f.fs.Integrity {
+		err = f.framedWriteV(p, vecs)
+	} else {
+		err = f.accessV(p, vecs, true)
+	}
+	if err == nil {
+		for _, v := range vecs {
+			f.Written += int64(len(v.Buf))
+		}
+	}
+	return err
+}
+
+// accessV is the unframed vectored path: every fragment of every element
+// becomes one scatter-gather element of a single batched transfer. A
+// revoked fragment triggers the same degraded-mode transition as the
+// scalar path.
+func (f *File) accessV(p *sim.Proc, vecs []vfs.Vec, write bool) error {
+	var iov []rmem.IOVec
+	var stripes []int // stripe of each iov element, for failover accounting
+	for vi := range vecs {
+		b := vecs[vi].Buf
+		off := vecs[vi].Off
+		for len(b) > 0 {
+			idx := off / f.mrSize
+			within := off % f.mrSize
+			n := f.mrSize - within
+			if n > int64(len(b)) {
+				n = int64(len(b))
+			}
+			if f.down[idx][0] {
+				return f.stripeErr(int(idx))
+			}
+			l := f.leases[idx][0]
+			if !l.Valid(p.Now()) {
+				f.replicaLost(p, int(idx), 0)
+				if f.unavailable {
+					return vfs.ErrUnavailable
+				}
+				return f.stripeErr(int(idx))
+			}
+			iov = append(iov, rmem.IOVec{MR: l.MR, Off: int(within), Buf: b[:n]})
+			stripes = append(stripes, int(idx))
+			b = b[n:]
+			off += n
+		}
+	}
+	var errs []error
+	if write {
+		errs = f.fs.Client.WriteV(p, f.fs.Transport, iov)
+	} else {
+		errs = f.fs.Client.ReadV(p, f.fs.Transport, iov)
+	}
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, rmem.ErrRevoked) {
+			f.replicaLost(p, stripes[i], 0)
+			if f.unavailable {
+				return vfs.ErrUnavailable
+			}
+			return f.stripeErr(stripes[i])
+		}
+		return err
+	}
+	if write {
+		f.Writes += int64(len(vecs))
+	} else {
+		f.Reads += int64(len(vecs))
+	}
+	return nil
+}
+
+// blockSeg is the portion of one block touched by a vector: the byte
+// range [within, within+len(data)) of the block maps onto data, which
+// aliases the caller's buffer.
+type blockSeg struct {
+	within int64
+	data   []byte
+}
+
+// splitBlocks decomposes vecs into per-block segments, returning the
+// blocks in deterministic first-touch order.
+func (f *File) splitBlocks(vecs []vfs.Vec) ([]int64, map[int64][]blockSeg) {
+	bs := int64(f.fs.BlockSize)
+	segs := make(map[int64][]blockSeg)
+	var blocks []int64
+	for _, v := range vecs {
+		b := v.Buf
+		off := v.Off
+		for len(b) > 0 {
+			g := off / bs
+			within := off % bs
+			n := bs - within
+			if n > int64(len(b)) {
+				n = int64(len(b))
+			}
+			if _, seen := segs[g]; !seen {
+				blocks = append(blocks, g)
+			}
+			segs[g] = append(segs[g], blockSeg{within: within, data: b[:n]})
+			b = b[n:]
+			off += n
+		}
+	}
+	return blocks, segs
+}
+
+// pickReplica returns the first replica of stripe s that is up with a
+// valid lease, reporting whether an earlier replica had to be skipped
+// over an invalid lease (a failover the read must account). It returns
+// -1 when no replica qualifies.
+func (f *File) pickReplica(p *sim.Proc, s int) (int, bool, error) {
+	failedOver := false
+	for r := range f.leases[s] {
+		if f.down[s][r] {
+			continue
+		}
+		if !f.leases[s][r].Valid(p.Now()) {
+			f.replicaLost(p, s, r)
+			if f.unavailable {
+				return -1, false, vfs.ErrUnavailable
+			}
+			failedOver = true
+			continue
+		}
+		return r, failedOver, nil
+	}
+	return -1, failedOver, nil
+}
+
+// framedReadV is the integrity-mode vectored read: poisoned blocks fail,
+// never-written blocks serve zeros locally, and every remaining block
+// joins one batched fetch from its first healthy replica. Elements that
+// come back unverified (corruption, a revocation mid-batch) are retried
+// through the scalar fetchBlock, which owns failover, in-place repair,
+// and poisoning — so detection and repair semantics are identical to the
+// scalar path.
+func (f *File) framedReadV(p *sim.Proc, vecs []vfs.Vec) error {
+	blocks, segs := f.splitBlocks(vecs)
+	type fetch struct {
+		g          int64
+		replica    int
+		failedOver bool
+		frame      []byte
+	}
+	var fetches []fetch
+	var iov []rmem.IOVec
+	fsz := f.frameSize()
+	for _, g := range blocks {
+		if f.poisoned[g] {
+			return f.corruptErr(g)
+		}
+		if f.gens[g] == 0 {
+			for _, sg := range segs[g] {
+				for i := range sg.data {
+					sg.data[i] = 0
+				}
+			}
+			continue
+		}
+		s, frameOff := f.blockHome(g)
+		r, failedOver, err := f.pickReplica(p, s)
+		if err != nil {
+			return err
+		}
+		if r < 0 {
+			if f.unavailable {
+				return vfs.ErrUnavailable
+			}
+			return f.stripeErr(s)
+		}
+		frame := make([]byte, fsz)
+		fetches = append(fetches, fetch{g: g, replica: r, failedOver: failedOver, frame: frame})
+		iov = append(iov, rmem.IOVec{MR: f.leases[s][r].MR, Off: frameOff, Buf: frame})
+	}
+	var errs []error
+	if len(iov) > 0 {
+		errs = f.fs.Client.ReadV(p, f.fs.Transport, iov)
+	}
+	for i := range fetches {
+		ft := &fetches[i]
+		var elemErr error
+		if errs != nil {
+			elemErr = errs[i]
+		}
+		verified := false
+		switch {
+		case elemErr == nil:
+			if verifyFrame(ft.frame, f.fs.BlockSize, f.gens[ft.g]) == nil {
+				verified = true
+				if ft.failedOver {
+					f.fs.Failovers.Add(1, int64(f.fs.BlockSize))
+				}
+			}
+		case errors.Is(elemErr, rmem.ErrRevoked):
+			s, _ := f.blockHome(ft.g)
+			f.replicaLost(p, s, ft.replica)
+			if f.unavailable {
+				return vfs.ErrUnavailable
+			}
+		default:
+			return elemErr
+		}
+		if !verified {
+			// The batched copy did not verify: the scalar fetch re-reads
+			// every replica, counting the corruption, repairing the bad
+			// copy or poisoning the block exactly as a scalar read would.
+			if err := f.fetchBlock(p, ft.g, ft.frame); err != nil {
+				return err
+			}
+		}
+		for _, sg := range segs[ft.g] {
+			copy(sg.data, ft.frame[sg.within:sg.within+int64(len(sg.data))])
+		}
+	}
+	f.Reads += int64(len(vecs))
+	return nil
+}
+
+// fullCover reports whether the segments tile the whole block [0, bs)
+// exactly once, with no gap and no overlap.
+func fullCover(segs []blockSeg, bs int64) bool {
+	if len(segs) == 1 {
+		return segs[0].within == 0 && int64(len(segs[0].data)) == bs
+	}
+	sorted := append([]blockSeg(nil), segs...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].within < sorted[j].within })
+	at := int64(0)
+	for _, sg := range sorted {
+		if sg.within != at {
+			return false
+		}
+		at += int64(len(sg.data))
+	}
+	return at == bs
+}
+
+// framedWriteV is the integrity-mode vectored write: blocks fully
+// covered by the vector are sealed and fanned out to every healthy
+// replica in one batched transfer; partial or overlapping blocks take
+// the scalar read-merge-write path. A replica revoked mid-batch fails
+// over like the scalar path; a block with zero surviving writes is an
+// error and its generation is not bumped.
+func (f *File) framedWriteV(p *sim.Proc, vecs []vfs.Vec) error {
+	bs := int64(f.fs.BlockSize)
+	blocks, segs := f.splitBlocks(vecs)
+	type blockWrite struct {
+		g      int64
+		newGen uint64
+		wrote  int
+	}
+	var bws []*blockWrite
+	var iov []rmem.IOVec
+	var iovBW []*blockWrite
+	var iovRep []int
+	for _, g := range blocks {
+		sg := segs[g]
+		if !fullCover(sg, bs) {
+			for _, seg := range sg {
+				if err := f.writeBlock(p, g, seg.within, seg.data); err != nil {
+					return err
+				}
+			}
+			continue
+		}
+		frame := make([]byte, f.frameSize())
+		for _, seg := range sg {
+			copy(frame[seg.within:seg.within+int64(len(seg.data))], seg.data)
+		}
+		bw := &blockWrite{g: g, newGen: f.gens[g] + 1}
+		sealFrame(frame, int(bs), bw.newGen)
+		s, frameOff := f.blockHome(g)
+		issued := 0
+		for r := range f.leases[s] {
+			if f.down[s][r] {
+				continue
+			}
+			l := f.leases[s][r]
+			if !l.Valid(p.Now()) {
+				f.replicaLost(p, s, r)
+				if f.unavailable {
+					return vfs.ErrUnavailable
+				}
+				continue
+			}
+			iov = append(iov, rmem.IOVec{MR: l.MR, Off: frameOff, Buf: frame})
+			iovBW = append(iovBW, bw)
+			iovRep = append(iovRep, r)
+			issued++
+		}
+		if issued == 0 {
+			if f.unavailable {
+				return vfs.ErrUnavailable
+			}
+			return f.stripeErr(s)
+		}
+		bws = append(bws, bw)
+	}
+	if len(iov) > 0 {
+		errs := f.fs.Client.WriteV(p, f.fs.Transport, iov)
+		for i := range iov {
+			var err error
+			if errs != nil {
+				err = errs[i]
+			}
+			if err == nil {
+				iovBW[i].wrote++
+				continue
+			}
+			if errors.Is(err, rmem.ErrRevoked) {
+				s, _ := f.blockHome(iovBW[i].g)
+				f.replicaLost(p, s, iovRep[i])
+				if f.unavailable {
+					return vfs.ErrUnavailable
+				}
+				continue
+			}
+			return err
+		}
+	}
+	for _, bw := range bws {
+		if bw.wrote == 0 {
+			s, _ := f.blockHome(bw.g)
+			if f.unavailable {
+				return vfs.ErrUnavailable
+			}
+			return f.stripeErr(s)
+		}
+		f.gens[bw.g] = bw.newGen
+		delete(f.poisoned, bw.g)
+	}
+	f.Writes += int64(len(vecs))
+	return nil
+}
+
+var _ vfs.VectorFile = (*File)(nil)

@@ -25,6 +25,8 @@ type Iterator struct {
 	nextPg  uint64
 	lastKey []byte
 	done    bool
+	leaves  int    // leaf pages visited so far
+	raNext  uint64 // next page at which to issue a readahead window
 }
 
 // Scan returns an iterator positioned at the first key >= from (nil = min).
@@ -79,6 +81,26 @@ func (it *Iterator) Next(p *sim.Proc) (Pair, bool, error) {
 			it.done = true
 			return Pair{}, false, nil
 		}
+		// Bulk-loaded leaves are consecutively numbered, so prefetching
+		// the window after the cursor turns the page-at-a-time walk into
+		// batched faults; pages outside the chain cost one wasted frame
+		// at worst and the window re-arms only past the previous one.
+		// Readahead engages only once the iterator has crossed a couple
+		// of leaves — a short PK-range probe reading one or two pages
+		// must not pay for a speculative window it will never use — and
+		// then slow-starts: the window is capped at the number of leaves
+		// already visited, so a scan earns its prefetch depth by proving
+		// it keeps going (a 4-leaf range query prefetches 2, a long scan
+		// ramps to the full window within a couple of re-arms).
+		if ra := it.t.bp.ReadaheadPages(); ra > 0 && it.leaves >= 2 && it.nextPg >= it.raNext {
+			win := it.leaves
+			if win > ra {
+				win = ra
+			}
+			it.t.bp.ReadAheadWindow(p, it.nextPg, win)
+			it.raNext = it.nextPg + uint64(win)
+		}
+		it.leaves++
 		h, err := it.t.bp.Get(p, it.nextPg)
 		if err != nil {
 			return Pair{}, false, err

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"remotedb/internal/cluster"
+	"remotedb/internal/engine/opt"
 	"remotedb/internal/engine/page"
 	"remotedb/internal/sim"
 	"remotedb/internal/vfs"
@@ -33,15 +34,36 @@ type Config struct {
 	PageAccessCPU time.Duration // latch + lookup cost per logical access
 	WriterPeriod  time.Duration // lazy-writer cadence (0 disables)
 	WriterBatch   int           // max dirty pages written per round
+
+	// Policy selects the eviction policy: the cost-aware GDSF heap (the
+	// default) or the legacy clock sweep, kept for A/B runs.
+	Policy Policy
+	// CostDisk and CostExt are the GDSF miss costs: the calibrated
+	// latency of re-fetching a page from the data file vs from the
+	// extension tier. Zero means "derive from the opt tier table"
+	// (HDD random for the data file, remote memory for the extension).
+	CostDisk time.Duration
+	CostExt  time.Duration
+
+	// BatchedIO enables the vectored hot paths: the lazy writer flushes
+	// dirty batches with one scatter-gather write, evictions stash
+	// extension puts in groups, and ReadAhead batch-faults scan windows.
+	BatchedIO bool
+	// Readahead is the sequential readahead window in pages that range
+	// scans prefetch ahead of the cursor (0 disables readahead).
+	Readahead int
 }
 
-// DefaultConfig returns a small pool with a 10 ms lazy writer.
+// DefaultConfig returns a small pool with a 10 ms lazy writer, GDSF
+// eviction, and batched I/O with an 8-page readahead window.
 func DefaultConfig(frames int) Config {
 	return Config{
 		Frames:        frames,
 		PageAccessCPU: time.Microsecond,
 		WriterPeriod:  10 * time.Millisecond,
 		WriterBatch:   128,
+		BatchedIO:     true,
+		Readahead:     8,
 	}
 }
 
@@ -56,6 +78,14 @@ type frame struct {
 	pins   int
 	ref    bool   // clock reference bit
 	ver    uint64 // bumped on MarkDirty; detects writes racing with I/O
+
+	// GDSF bookkeeping. The hit path is two field writes (saturating
+	// freq bump, re-anchor baseL at the current inflation value);
+	// priority is recomputed lazily when the heap pops the frame.
+	freq      int64   // saturating access count (see gdsfFreqCap)
+	baseL     float64 // inflation value L at install or last hit
+	lastEpoch uint64  // eviction epoch of the last hit (correlated-ref guard)
+	seq       uint64  // bumped per install; stale heap entries are discarded
 }
 
 // Stats counts pool activity.
@@ -67,6 +97,11 @@ type Stats struct {
 	EvictDirty int64 // dirty victim written back synchronously
 	WriterIO   int64 // pages written by the lazy writer
 	ExtWrites  int64
+
+	EvictWriteBytes int64 // bytes written back by synchronous evictions
+	WriterBytes     int64 // bytes written back by the lazy writer
+	ExtWriteBytes   int64 // bytes stashed into the extension
+	ReadAheadPages  int64 // pages prefetched by ReadAhead
 }
 
 // Pool is the buffer pool.
@@ -84,6 +119,24 @@ type Pool struct {
 
 	ext         *Extension
 	extPutSlots *sim.Resource // bounds in-flight async extension writes
+
+	// Batched extension puts (cfg.BatchedIO): evictions append to the
+	// queue and one background flusher drains it with a vectored write.
+	// extPending is the read-through index over the queue: the latest
+	// not-yet-flushed image per page, served straight from RAM so a
+	// re-fault never falls to disk just because the put is still queued.
+	extQueue   []extPut
+	extPending map[uint64]extPut
+	extCond    *sim.Cond
+	extFlusher bool // flusher process started
+
+	// GDSF state: a lazy min-heap of (frame, seq, priority) entries, the
+	// inflation value L, the free list of invalid frames, and the global
+	// eviction epoch (the correlated-reference clock for noteHit).
+	gheap      []gdsfEntry
+	gL         float64
+	free       []int
+	evictEpoch uint64
 
 	nextPageNo uint64
 	writerStop bool
@@ -111,9 +164,32 @@ func New(p *sim.Proc, server *cluster.Server, data vfs.File, cfg Config) (*Pool,
 		nextPageNo: 1, // page 0 reserved
 	}
 	bp.avail = sim.NewCond(bp.k)
-	bp.extPutSlots = sim.NewResource(bp.k, "extput", 64)
+	// In batched mode the queue is drained by one flusher whose vectored
+	// write can sleep a while; bound the in-flight puts by the pool size
+	// so a burst of evictions during one flush does not overflow the
+	// queue and silently drop pages from the extension.
+	extSlots := 64
+	if bp.cfg.BatchedIO && cfg.Frames > extSlots {
+		extSlots = cfg.Frames
+	}
+	bp.extPutSlots = sim.NewResource(bp.k, "extput", extSlots)
+	bp.extCond = sim.NewCond(bp.k)
+	bp.extPending = make(map[uint64]extPut)
+	if bp.cfg.CostDisk <= 0 {
+		bp.cfg.CostDisk = opt.DefaultCosts()[opt.TierHDD].RandomPage
+	}
+	if bp.cfg.CostExt <= 0 {
+		bp.cfg.CostExt = opt.DefaultCosts()[opt.TierRemote].RandomPage
+	}
 	for i := range bp.frames {
 		bp.frames[i].buf = make([]byte, page.Size)
+	}
+	if bp.cfg.Policy == PolicyGDSF {
+		// All frames start free; installs push them onto the heap.
+		bp.free = make([]int, 0, cfg.Frames)
+		for i := cfg.Frames - 1; i >= 0; i-- {
+			bp.free = append(bp.free, i)
+		}
 	}
 	if cfg.WriterPeriod > 0 {
 		bp.k.Go("lazywriter", bp.writerLoop)
@@ -124,6 +200,10 @@ func New(p *sim.Proc, server *cluster.Server, data vfs.File, cfg Config) (*Pool,
 // AttachExtension enables the BPExt on file (SSD or remote memory).
 func (bp *Pool) AttachExtension(file vfs.File, slots int) {
 	bp.ext = newExtension(file, slots)
+	if bp.cfg.BatchedIO && !bp.extFlusher {
+		bp.extFlusher = true
+		bp.k.Go("ext-flush", bp.extFlushLoop)
+	}
 }
 
 // Extension returns the attached extension, or nil.
@@ -192,6 +272,7 @@ func (bp *Pool) Allocate(p *sim.Proc, t page.Type) (*Handle, uint64, error) {
 	f.pins = 1
 	f.ref = true
 	bp.table[no] = idx
+	bp.noteInstall(idx)
 	pg := page.Wrap(f.buf)
 	pg.Init(no, t)
 	return &Handle{bp: bp, idx: idx}, no, nil
@@ -208,6 +289,7 @@ func (bp *Pool) Get(p *sim.Proc, pageNo uint64) (*Handle, error) {
 			f := &bp.frames[idx]
 			f.pins++
 			f.ref = true
+			bp.noteHit(idx)
 			bp.Stats.Hits++
 			return &Handle{bp: bp, idx: idx}, nil
 		}
@@ -241,6 +323,16 @@ func (bp *Pool) Get(p *sim.Proc, pageNo uint64) (*Handle, error) {
 	// Fault the image in: extension first, then the data file.
 	fromExt := false
 	if bp.ExtensionHealthy() {
+		if pu, queued := bp.extPending[pageNo]; queued {
+			// The put is still in the flusher's queue: read through the
+			// queued image (it is in RAM) instead of falling to disk.
+			copy(f.buf, pu.img)
+			fromExt = true
+			bp.ext.Hits++
+			bp.Stats.ExtHits++
+		}
+	}
+	if !fromExt && bp.ExtensionHealthy() {
 		ok, err := bp.ext.tryGet(p, pageNo, f.buf)
 		if err != nil {
 			// The cached copy is unreachable; drop the mapping so a later
@@ -256,18 +348,29 @@ func (bp *Pool) Get(p *sim.Proc, pageNo uint64) (*Handle, error) {
 		if err := bp.data.ReadAt(p, f.buf, int64(pageNo)*page.Size); err != nil {
 			f.valid = false
 			f.pins = 0
+			bp.releaseFrame(idx)
 			return nil, fmt.Errorf("buffer: data read: %w", err)
 		}
 		bp.Stats.DiskReads++
 	}
 	f.ref = true
 	bp.table[pageNo] = idx
+	bp.noteInstall(idx)
 	return &Handle{bp: bp, idx: idx}, nil
 }
 
-// victim finds a free frame, evicting with the clock sweep; it blocks if
-// every frame is pinned and fails only if that persists.
+// victim finds a free frame under the configured eviction policy; it
+// blocks if every frame is pinned and fails only if that persists.
 func (bp *Pool) victim(p *sim.Proc) (int, error) {
+	if bp.cfg.Policy == PolicyClock {
+		return bp.victimClock(p)
+	}
+	return bp.victimGDSF(p)
+}
+
+// victimClock is the legacy clock sweep, kept behind PolicyClock for
+// A/B runs against GDSF.
+func (bp *Pool) victimClock(p *sim.Proc) (int, error) {
 	for attempt := 0; ; attempt++ {
 		for sweep := 0; sweep < 2*len(bp.frames); sweep++ {
 			f := &bp.frames[bp.hand]
@@ -323,6 +426,7 @@ func (bp *Pool) evict(p *sim.Proc, idx int) (bool, error) {
 		}
 		f.dirty = false
 		bp.Stats.EvictDirty++
+		bp.Stats.EvictWriteBytes += page.Size
 	} else {
 		bp.Stats.EvictClean++
 	}
@@ -336,22 +440,44 @@ func (bp *Pool) evict(p *sim.Proc, idx int) (bool, error) {
 		// Stash the clean image in the extension asynchronously (SQL
 		// Server's BPExt writes happen off the eviction critical path).
 		// Bounded in-flight puts; when saturated the page simply is not
-		// cached — insertion is best-effort.
-		if bp.extPutSlots.TryAcquire(1) {
+		// cached — insertion is best-effort. With BatchedIO the image
+		// joins the flusher's queue and ships in a vectored group write;
+		// otherwise a per-page goroutine writes it.
+		gotSlot := bp.extPutSlots.TryAcquire(1)
+		if !gotSlot && bp.cfg.BatchedIO && !bp.extDegraded() {
+			// Queue full: wait for the flusher to swap it out rather than
+			// dropping the page — a dropped page costs a spindle seek on
+			// its next fault, far worse than a short write-throttle stall.
+			// Unless the extension file is degraded: then the flusher may
+			// be stuck in retry/failover and blocking here would back
+			// every eviction (and every faulting client's pinned frame)
+			// up behind it, so insertion reverts to best-effort drops.
+			bp.extPutSlots.Acquire(p, 1)
+			gotSlot = true
+		}
+		if gotSlot {
 			img := make([]byte, page.Size)
 			copy(img, f.buf)
 			pageNo := f.pageNo
-			bp.k.Go("ext-put", func(ep *sim.Proc) {
-				defer bp.extPutSlots.Release(1)
-				if !bp.ExtensionHealthy() {
-					return
-				}
-				if err := bp.ext.put(ep, pageNo, img, ver); err != nil {
-					bp.extFailed(err)
-				} else {
-					bp.Stats.ExtWrites++
-				}
-			})
+			if bp.cfg.BatchedIO {
+				pu := extPut{pageNo: pageNo, img: img, ver: ver}
+				bp.extQueue = append(bp.extQueue, pu)
+				bp.extPending[pageNo] = pu
+				bp.extCond.Signal()
+			} else {
+				bp.k.Go("ext-put", func(ep *sim.Proc) {
+					defer bp.extPutSlots.Release(1)
+					if !bp.ExtensionHealthy() {
+						return
+					}
+					if err := bp.ext.put(ep, pageNo, img, ver); err != nil {
+						bp.extFailed(err)
+					} else {
+						bp.Stats.ExtWrites++
+						bp.Stats.ExtWriteBytes += page.Size
+					}
+				})
+			}
 		}
 	}
 	f.pins--
@@ -361,6 +487,7 @@ func (bp *Pool) evict(p *sim.Proc, idx int) (bool, error) {
 	}
 	delete(bp.table, f.pageNo)
 	f.valid = false
+	bp.evictEpoch++
 	return true, nil
 }
 
@@ -390,6 +517,10 @@ func (bp *Pool) extFailed(err error) {
 func (bp *Pool) writerLoop(p *sim.Proc) {
 	for !bp.writerStop {
 		p.Sleep(bp.cfg.WriterPeriod)
+		if bp.cfg.BatchedIO {
+			bp.writerFlushBatch(p)
+			continue
+		}
 		written := 0
 		for i := range bp.frames {
 			if written >= bp.cfg.WriterBatch {
@@ -411,6 +542,7 @@ func (bp *Pool) writerLoop(p *sim.Proc) {
 			if err == nil && f.ver == v0 {
 				f.dirty = false
 				bp.Stats.WriterIO++
+				bp.Stats.WriterBytes += page.Size
 				written++
 			}
 		}
@@ -473,6 +605,7 @@ func (bp *Pool) PrimeInstall(p *sim.Proc, pageNo uint64, img []byte) error {
 	f.pins = 0
 	f.ref = true
 	bp.table[pageNo] = idx
+	bp.noteInstall(idx)
 	return nil
 }
 

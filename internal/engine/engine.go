@@ -47,6 +47,15 @@ type Config struct {
 	// planner (0 = default 4, following SQL Server's parallel-by-default
 	// analytic plans).
 	DOP int
+	// Eviction selects the buffer pool's eviction policy (GDSF by
+	// default; PolicyClock for A/B runs).
+	Eviction buffer.Policy
+	// NoBatchedIO disables the vectored buffer-pool paths (batched
+	// writeback, grouped extension puts, scan readahead).
+	NoBatchedIO bool
+	// Readahead overrides the scan readahead window in pages (0 keeps
+	// the buffer default).
+	Readahead int
 }
 
 // DefaultConfig sizes the pool to frames pages with standard costs.
@@ -81,6 +90,14 @@ func New(p *sim.Proc, server *cluster.Server, files Files, cfg Config) (*Engine,
 		bcfg = buffer.DefaultConfig(cfg.BufferFrames)
 	}
 	bcfg.Frames = cfg.BufferFrames
+	bcfg.Policy = cfg.Eviction
+	if cfg.NoBatchedIO {
+		bcfg.BatchedIO = false
+		bcfg.Readahead = 0
+	}
+	if cfg.Readahead > 0 {
+		bcfg.Readahead = cfg.Readahead
+	}
 	bp, err := buffer.New(p, server, files.Data, bcfg)
 	if err != nil {
 		return nil, err

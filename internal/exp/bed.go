@@ -13,6 +13,7 @@ import (
 	"remotedb/internal/cluster"
 	"remotedb/internal/core"
 	"remotedb/internal/engine"
+	"remotedb/internal/engine/buffer"
 	"remotedb/internal/engine/page"
 	"remotedb/internal/fault"
 	"remotedb/internal/hw/nic"
@@ -114,6 +115,16 @@ type BedConfig struct {
 	// ScrubEvery starts each remote file's background scrubber at this
 	// cadence (0 leaves scrubbing off). Requires Integrity.
 	ScrubEvery time.Duration
+
+	// Eviction selects the buffer pool's eviction policy (GDSF by
+	// default; buffer.PolicyClock for A/B runs).
+	Eviction buffer.Policy
+	// NoBatchedIO disables the buffer pool's vectored paths (batched
+	// writeback, grouped extension puts, scan readahead).
+	NoBatchedIO bool
+	// Readahead overrides the scan readahead window in pages (0 keeps
+	// the buffer default).
+	Readahead int
 }
 
 // DefaultBedConfig mirrors the paper's default hardware (Table 3) with
@@ -269,6 +280,9 @@ func NewBed(p *sim.Proc, cfg BedConfig) (*Bed, error) {
 	bed.BPExtFile = bpextFile
 
 	ecfg := engine.DefaultConfig(frames)
+	ecfg.Eviction = cfg.Eviction
+	ecfg.NoBatchedIO = cfg.NoBatchedIO
+	ecfg.Readahead = cfg.Readahead
 	if cfg.GrantBytes > 0 {
 		ecfg.Grant = cfg.GrantBytes
 	}

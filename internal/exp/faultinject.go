@@ -312,17 +312,22 @@ func RunFaultRecovery(seed int64, prm FaultRecoveryParams) (*FaultPhases, error)
 		out.Errors += res.Errors
 
 		// Phase 2: revoke every BPExt stripe a little into the window,
-		// inside a brief metastore partition so the first re-lease
-		// attempts must retry. The revoked MRs are destroyed, so a fresh
-		// donor replenishes the pool once the partition heals — the
-		// repairs' backoff rides out the gap.
+		// inside a metastore partition so renewals and the first
+		// re-lease attempts must retry. The partition outlasts one full
+		// renewal interval (LeaseTTL/2), so at least one renew tick is
+		// guaranteed to land inside it regardless of phase alignment —
+		// the batched pool can go tens of milliseconds without touching
+		// the extension, so revocation discovery is bounded by the
+		// renewal cadence, not by I/O errors. The revoked MRs are
+		// destroyed, so a fresh donor replenishes the pool once the
+		// partition heals — the repairs' backoff rides out the gap.
 		now := p.Now()
 		stripes := int(cfg.BPExtBytes / int64(cfg.MRBytes))
 		bed.InjectFaults([]FaultEvent{
 			{At: now + 20*time.Millisecond, Kind: FaultPartition},
 			{At: now + 25*time.Millisecond, Kind: FaultRevokeFile, Name: "bpext"},
-			{At: now + 60*time.Millisecond, Kind: FaultHeal},
-			{At: now + 70*time.Millisecond, Kind: FaultReplenish, N: stripes},
+			{At: now + 90*time.Millisecond, Kind: FaultHeal},
+			{At: now + 100*time.Millisecond, Kind: FaultReplenish, N: stripes},
 		})
 		res = w.Run(p, 0, prm.Window)
 		out.During = res.Throughput()

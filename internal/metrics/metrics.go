@@ -180,6 +180,38 @@ func (h *Histogram) String() string {
 		h.count, h.Mean(), h.P50(), h.P95(), h.P99(), h.Max())
 }
 
+// Contention records how often acquirers of a bounded resource had to
+// block, how long they waited in total, and the high-water mark of units
+// in use. The rmem client uses it to expose staging-slot contention —
+// the quantity that tells whether a batching win came from fewer round
+// trips or just from less queueing.
+type Contention struct {
+	Waits     int64         // acquisitions that had to block
+	WaitTime  time.Duration // total time spent blocked
+	HighWater int           // maximum units observed in use
+}
+
+// RecordWait counts one blocking acquisition that waited d.
+func (c *Contention) RecordWait(d time.Duration) {
+	c.Waits++
+	c.WaitTime += d
+}
+
+// Observe updates the high-water mark with the current in-use count.
+func (c *Contention) Observe(inUse int) {
+	if inUse > c.HighWater {
+		c.HighWater = inUse
+	}
+}
+
+// MeanWait returns the average blocked time per waiting acquisition.
+func (c *Contention) MeanWait() time.Duration {
+	if c.Waits == 0 {
+		return 0
+	}
+	return c.WaitTime / time.Duration(c.Waits)
+}
+
 // Counter is a monotonically increasing count with a byte tally, used for
 // I/O and query throughput.
 type Counter struct {

@@ -17,6 +17,7 @@ import (
 	"remotedb/internal/cluster"
 	"remotedb/internal/fault"
 	"remotedb/internal/hw/nic"
+	"remotedb/internal/metrics"
 	"remotedb/internal/sim"
 )
 
@@ -261,8 +262,21 @@ type Client struct {
 	staging *sim.Resource // pending-transfer slots across all schedulers
 	crypt   *cryptor      // nil unless encryption is enabled
 
+	slotsPerSch  int // sub-batch element bound for vectored transfers
+	stagingBytes int // sub-batch byte bound (one scheduler's staging MR)
+
 	Reads, Writes       int64
 	BytesRead, BytesWrt int64
+
+	// RoundTrips counts charged wire messages. A doorbell-batched vector
+	// pays one per destination server per sub-batch instead of one per
+	// element — this counter is what the iobatch experiment compares.
+	RoundTrips int64
+
+	// StagingContention records how often transfers blocked waiting for a
+	// staging slot, the total time spent blocked, and the slot high-water
+	// mark, attributing batching wins to round trips vs queueing.
+	StagingContention metrics.Contention
 }
 
 // ClientConfig parameterizes a client.
@@ -303,10 +317,12 @@ func NewClient(p *sim.Proc, server *cluster.Server, cfg ClientConfig) *Client {
 		cfg.StagingBytes = 1 << 20
 	}
 	c := &Client{
-		Server:  server,
-		Mode:    cfg.Mode,
-		Reg:     cfg.Reg,
-		staging: sim.NewResource(server.K, server.Name+"/staging", cfg.Schedulers*cfg.SlotsPerSch),
+		Server:       server,
+		Mode:         cfg.Mode,
+		Reg:          cfg.Reg,
+		staging:      sim.NewResource(server.K, server.Name+"/staging", cfg.Schedulers*cfg.SlotsPerSch),
+		slotsPerSch:  cfg.SlotsPerSch,
+		stagingBytes: cfg.StagingBytes,
 	}
 	if cfg.Encrypt {
 		c.crypt = newCryptor(cfg.Key)
@@ -315,6 +331,18 @@ func NewClient(p *sim.Proc, server *cluster.Server, cfg ClientConfig) *Client {
 		server.Work(p, nic.RegisterCost(cfg.StagingBytes))
 	}
 	return c
+}
+
+// acquireStaging takes n pending-transfer slots, recording contention:
+// a blocked acquisition counts one wait plus the time spent queued, and
+// the in-use high-water mark is sampled after every acquisition.
+func (c *Client) acquireStaging(p *sim.Proc, n int) {
+	if !c.staging.TryAcquire(n) {
+		start := p.Now()
+		c.staging.Acquire(p, n)
+		c.StagingContention.RecordWait(p.Now() - start)
+	}
+	c.StagingContention.Observe(c.staging.InUse())
 }
 
 // Transport moves bytes between a client server and an MR, charging
@@ -360,7 +388,7 @@ func (t *rdmaTransport) xfer(p *sim.Proc, c *Client, mr *MR, off int, buf []byte
 		return err
 	}
 	prof := nic.ProfileFor(nic.ProtoRDMA)
-	c.staging.Acquire(p, 1)
+	c.acquireStaging(p, 1)
 	do := func() {
 		p.Sleep(prof.ClientPost)
 		if c.Reg == RegOnDemand {
@@ -375,6 +403,7 @@ func (t *rdmaTransport) xfer(p *sim.Proc, c *Client, mr *MR, off int, buf []byte
 		} else {
 			nic.Wire(p, mr.Owner.NIC, c.Server.NIC, len(buf))
 		}
+		c.RoundTrips++
 	}
 	switch c.Mode {
 	case AccessSync:
@@ -478,6 +507,7 @@ func (t *smbTransport) xfer(p *sim.Proc, c *Client, mr *MR, off int, buf []byte,
 	} else {
 		nic.Wire(p, src, dst, len(buf))
 	}
+	c.RoundTrips++
 	// Asynchronous completion on the client.
 	if prof.AsyncCompletion {
 		c.Server.Reschedule(p)

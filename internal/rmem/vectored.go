@@ -1,0 +1,183 @@
+// Vectored (scatter-gather) transfers: ReadV/WriteV coalesce a list of
+// per-element MR accesses into doorbell-batched RDMA posts. One
+// sub-batch — bounded by one scheduler's staging capacity (slot count
+// and staging-MR bytes) — pays a single doorbell (ClientPost), every
+// element pays its own staging memcpy or on-demand registration, and
+// all elements bound for the same destination server travel as one wire
+// message: one charged round trip per destination instead of one per
+// page. The SMB transports have no doorbell, so they degrade to one
+// request per element.
+package rmem
+
+import (
+	"time"
+
+	"remotedb/internal/cluster"
+	"remotedb/internal/hw/nic"
+	"remotedb/internal/sim"
+)
+
+// IOVec is one element of a scatter-gather transfer: len(Buf) bytes at
+// Off within MR.
+type IOVec struct {
+	MR  *MR
+	Off int
+	Buf []byte
+}
+
+// ReadV reads every element of vecs through t, coalescing them into
+// doorbell-batched transfers when the transport supports it. It returns
+// nil when every element succeeded, otherwise a len(vecs) slice with a
+// per-element result (nil entries for the elements that did succeed) —
+// a revoked MR mid-batch fails only its own elements, so callers can
+// fail over per element instead of retrying the whole vector.
+func (c *Client) ReadV(p *sim.Proc, t Transport, vecs []IOVec) []error {
+	return c.vectored(p, t, vecs, false)
+}
+
+// WriteV writes every element of vecs through t; error semantics match
+// ReadV.
+func (c *Client) WriteV(p *sim.Proc, t Transport, vecs []IOVec) []error {
+	return c.vectored(p, t, vecs, true)
+}
+
+func (c *Client) vectored(p *sim.Proc, t Transport, vecs []IOVec, write bool) []error {
+	if len(vecs) == 0 {
+		return nil
+	}
+	errs := make([]error, len(vecs))
+	failed := false
+	pending := make([]int, 0, len(vecs))
+	for i := range vecs {
+		if err := checkRange(vecs[i].MR, vecs[i].Off, len(vecs[i].Buf)); err != nil {
+			errs[i] = err
+			failed = true
+			continue
+		}
+		pending = append(pending, i)
+	}
+	if rt, ok := t.(*rdmaTransport); ok {
+		rt.xferV(p, c, vecs, pending, errs, write, &failed)
+	} else {
+		// No doorbell on the SMB paths: one request per element.
+		for _, i := range pending {
+			var err error
+			if write {
+				err = t.Write(p, c, vecs[i].MR, vecs[i].Off, vecs[i].Buf)
+			} else {
+				err = t.Read(p, c, vecs[i].MR, vecs[i].Off, vecs[i].Buf)
+			}
+			if err != nil {
+				errs[i] = err
+				failed = true
+			}
+		}
+	}
+	if !failed {
+		return nil
+	}
+	return errs
+}
+
+// xferV splits pending into sub-batches that fit one scheduler's
+// staging capacity and issues each as a single doorbell-batched post.
+func (t *rdmaTransport) xferV(p *sim.Proc, c *Client, vecs []IOVec, pending []int, errs []error, write bool, failed *bool) {
+	for len(pending) > 0 {
+		batch := pending
+		if len(batch) > c.slotsPerSch {
+			batch = batch[:c.slotsPerSch]
+		}
+		if c.Reg == RegStaging {
+			// One scheduler stages the whole sub-batch, so cap it at the
+			// scheduler's staging-MR size — always admitting at least one
+			// element, mirroring the scalar path's tolerance of oversized
+			// transfers.
+			n, bytes := 0, 0
+			for _, i := range batch {
+				if n > 0 && bytes+len(vecs[i].Buf) > c.stagingBytes {
+					break
+				}
+				bytes += len(vecs[i].Buf)
+				n++
+			}
+			batch = batch[:n]
+		}
+		pending = pending[len(batch):]
+		t.xferBatch(p, c, vecs, batch, errs, write, failed)
+	}
+}
+
+func (t *rdmaTransport) xferBatch(p *sim.Proc, c *Client, vecs []IOVec, batch []int, errs []error, write bool, failed *bool) {
+	prof := nic.ProfileFor(nic.ProtoRDMA)
+	c.acquireStaging(p, len(batch))
+	// Group elements by destination server, preserving first-appearance
+	// order so the charged sequence is deterministic.
+	type group struct {
+		owner *cluster.Server
+		bytes int
+	}
+	var groups []group
+	var prep time.Duration
+	total := 0
+	for _, i := range batch {
+		n := len(vecs[i].Buf)
+		total += n
+		if c.Reg == RegOnDemand {
+			prep += nic.RegisterCost(n)
+		} else {
+			prep += nic.MemcpyCost(n)
+		}
+		owner := vecs[i].MR.Owner
+		found := false
+		for g := range groups {
+			if groups[g].owner == owner {
+				groups[g].bytes += n
+				found = true
+				break
+			}
+		}
+		if !found {
+			groups = append(groups, group{owner: owner, bytes: n})
+		}
+	}
+	do := func() {
+		// One doorbell rings the whole sub-batch.
+		p.Sleep(prof.ClientPost)
+		p.Sleep(prep)
+		for _, g := range groups {
+			if write {
+				nic.Wire(p, c.Server.NIC, g.owner.NIC, g.bytes)
+			} else {
+				nic.Wire(p, g.owner.NIC, c.Server.NIC, g.bytes)
+			}
+			c.RoundTrips++
+		}
+	}
+	switch c.Mode {
+	case AccessSync:
+		c.Server.Exec(p, do)
+	case AccessAdaptive:
+		est := time.Duration(float64(total)/c.Server.NIC.Config().PayloadBytesPerSec*1e9) +
+			c.Server.NIC.Config().BaseLatency
+		if est <= SyncSpinThreshold {
+			c.Server.Exec(p, do)
+		} else {
+			do()
+			c.Server.Reschedule(p)
+		}
+	default:
+		do()
+		c.Server.Reschedule(p)
+	}
+	// Regions may have been revoked while the batch was in flight; only
+	// the affected elements fail.
+	for _, i := range batch {
+		if vecs[i].MR.revoked {
+			errs[i] = ErrRevoked
+			*failed = true
+			continue
+		}
+		c.moveBytes(p, vecs[i].MR, vecs[i].Off, vecs[i].Buf, write)
+	}
+	c.staging.Release(len(batch))
+}

@@ -21,6 +21,7 @@ import (
 	"remotedb/internal/broker"
 	"remotedb/internal/core"
 	"remotedb/internal/engine"
+	"remotedb/internal/engine/buffer"
 	"remotedb/internal/exp"
 	"remotedb/internal/fault"
 	"remotedb/internal/vfs"
@@ -96,6 +97,9 @@ type settings struct {
 	semCache     EngineConfig // only the SemCache field is read
 	planCache    *int
 	dop          int
+	eviction     *EvictionPolicy
+	batchedIO    *bool
+	readahead    int
 }
 
 // Option parameterizes the Start*/Mount*/NewTestBed constructors.
@@ -212,6 +216,33 @@ func WithPlanCache(entries int) Option {
 // by StartEngine.
 func WithDOP(n int) Option { return func(s *settings) { s.dop = n } }
 
+// EvictionPolicy selects the buffer pool's page replacement policy.
+type EvictionPolicy = buffer.Policy
+
+// The two eviction policies: the cost-aware GDSF heap, whose miss cost
+// is the calibrated latency of the tier a page would actually fall to
+// (the default), and the legacy clock sweep kept for A/B comparisons.
+const (
+	EvictGDSF  = buffer.PolicyGDSF
+	EvictClock = buffer.PolicyClock
+)
+
+// WithEviction selects the buffer pool's eviction policy. Consumed by
+// StartEngine and NewTestBed.
+func WithEviction(pol EvictionPolicy) Option {
+	return func(s *settings) { s.eviction = &pol }
+}
+
+// WithBatchedIO enables or disables the buffer pool's vectored I/O
+// paths: batched lazy-writer flushes, grouped extension puts, and scan
+// readahead (on by default). Consumed by StartEngine and NewTestBed.
+func WithBatchedIO(on bool) Option { return func(s *settings) { s.batchedIO = &on } }
+
+// WithReadahead sets the scan readahead window in pages (0 keeps the
+// default of 8; requires batched I/O). Consumed by StartEngine and
+// NewTestBed.
+func WithReadahead(pages int) Option { return func(s *settings) { s.readahead = pages } }
+
 // StartBroker creates a memory broker backed by store, configured by
 // options (WithLeaseTTL).
 func StartBroker(p *Proc, store *MetaStore, opts ...Option) *Broker {
@@ -262,7 +293,8 @@ func MountRemoteFS(p *Proc, b *Broker, client *RemoteClient, opts ...Option) *Re
 
 // StartEngine assembles the mini-RDBMS on server over the given storage
 // placement, configured by options (WithBufferFrames, WithBPExtSlots,
-// WithGrant, WithSemCache, WithPlanCache, WithDOP).
+// WithGrant, WithSemCache, WithPlanCache, WithDOP, WithEviction,
+// WithBatchedIO, WithReadahead).
 func StartEngine(p *Proc, server *Server, files EngineFiles, opts ...Option) (*Engine, error) {
 	s := apply(opts)
 	frames := s.bufferFrames
@@ -286,13 +318,23 @@ func StartEngine(p *Proc, server *Server, files EngineFiles, opts ...Option) (*E
 	if s.dop > 0 {
 		cfg.DOP = s.dop
 	}
+	if s.eviction != nil {
+		cfg.Eviction = *s.eviction
+	}
+	if s.batchedIO != nil {
+		cfg.NoBatchedIO = !*s.batchedIO
+	}
+	if s.readahead > 0 {
+		cfg.Readahead = s.readahead
+	}
 	return engine.New(p, server, files, cfg)
 }
 
 // NewTestBed assembles a full test bed for one of the Table 5 designs,
 // configured by options (WithStripeSize, WithLeaseTTL, WithExpirySweep,
 // WithRetryPolicy, WithRecovery, WithRemoteServers, WithBufferFrames,
-// WithBPExtBytes, WithReplication, WithIntegrity, WithScrubEvery).
+// WithBPExtBytes, WithReplication, WithIntegrity, WithScrubEvery,
+// WithEviction, WithBatchedIO, WithReadahead).
 func NewTestBed(p *Proc, d Design, opts ...Option) (*Bed, error) {
 	s := apply(opts)
 	cfg := exp.DefaultBedConfig(d)
@@ -328,6 +370,15 @@ func NewTestBed(p *Proc, d Design, opts ...Option) (*Bed, error) {
 	}
 	if s.bufferFrames > 0 {
 		cfg.LocalMemBytes = int64(s.bufferFrames) * 8192
+	}
+	if s.eviction != nil {
+		cfg.Eviction = *s.eviction
+	}
+	if s.batchedIO != nil {
+		cfg.NoBatchedIO = !*s.batchedIO
+	}
+	if s.readahead > 0 {
+		cfg.Readahead = s.readahead
 	}
 	return exp.NewBed(p, cfg)
 }
