@@ -37,6 +37,9 @@
 //	iobatch    vectored I/O: batched vs per-page transfers, burst
 //	           priming, eviction storm with batched I/O off vs on
 //	evict      eviction policy A/B: clock sweep vs cost-aware GDSF
+//	cluster    cluster-scale broker: 200+ DB servers and donors on a
+//	           sharded broker with batched heartbeats, through a
+//	           diurnal reclamation wave
 //	all        everything above
 //
 // With -json each experiment also writes BENCH_<experiment>.json:
@@ -90,7 +93,7 @@ func run(name string) error {
 			"fig12", "fig13", "fig14", "fig15a", "fig15b", "fig16",
 			"fig18", "fig20", "fig22", "fig24", "fig25", "fig26",
 			"fig27", "ablation", "faults", "scrub", "plancache", "parscan",
-			"iobatch", "evict",
+			"iobatch", "evict", "cluster",
 		} {
 			fmt.Printf("\n===== %s =====\n", n)
 			if err := run(n); err != nil {
@@ -166,6 +169,8 @@ func dispatch(name string) error {
 		return iobatch()
 	case "evict":
 		return evict()
+	case "cluster":
+		return clusterBench()
 	}
 	return fmt.Errorf("unknown experiment %q", name)
 }
@@ -229,6 +234,67 @@ func evict() error {
 	metric("gdsf_writeback_bytes", float64(res.GDSF.WriteBackBytes))
 	metric("hit_delta_points", res.HitDelta)
 	metric("speedup", res.Speedup)
+	return nil
+}
+
+func clusterBench() error {
+	fmt.Println("Cluster-scale broker: sharded lease space, batched heartbeats,")
+	fmt.Println("and a diurnal reclamation wave over 200+ participants")
+	prm := exp.DefaultClusterParams()
+	if *quick {
+		prm.Measure = 80 * time.Millisecond
+	}
+	res, err := exp.RunCluster(*seed, prm)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %d broker shards, %d donors\n", res.Shards, res.Donors)
+	fmt.Printf("  %8s %14s %14s %12s\n", "holders", "participants", "agg MB/s", "mean lat")
+	for _, pt := range res.Scale {
+		fmt.Printf("  %8d %14d %14.0f %12v\n", pt.Holders, pt.Participants,
+			pt.BytesPerSec/1e6, pt.MeanLat.Round(time.Microsecond))
+		key := fmt.Sprintf("holders%d", pt.Holders)
+		metric(key+"/agg_mb_per_sec", pt.BytesPerSec/1e6)
+		metricDur(key+"/mean_lat_ms", pt.MeanLat)
+	}
+	fmt.Printf("  storm: %d/%d live leases shed (%.0f%%) over %d pulses\n",
+		res.Shed, res.LiveBefore, res.ShedFrac*100, exp.DefaultClusterParams().StormPulses)
+	fmt.Printf("  latency: healthy=%v storm=%v recovered=%v (%.2fx inflation)\n",
+		res.HealthyLat.Round(time.Microsecond), res.StormLat.Round(time.Microsecond),
+		res.RecoveredLat.Round(time.Microsecond), res.Inflation)
+	fmt.Printf("  reads: fallbacks=%d engine-visible errors=%d\n", res.Fallbacks, res.Errors)
+	fmt.Printf("  heartbeats: %d rounds, %d batches, mean batch %.1f leases\n",
+		res.Heartbeats, res.HBBatches, res.HBBatchMean)
+	fmt.Printf("  broker: grants=%d renewals=%d expirations=%d revocations=%d active-peak=%d free=%d\n",
+		res.Grants, res.Renewals, res.Expirations, res.Revocations, res.ActivePeak, res.FreeMRs)
+	for _, t := range []string{"oltp", "olap", "batch"} {
+		st := res.Tenants[t]
+		fmt.Printf("  tenant %-6s grants=%d denies=%d sheds=%d held=%d MRs (%d MB)\n",
+			t, st.Grants, st.Denies, st.Sheds, st.HeldMRs, st.HeldBytes>>20)
+		metric("tenant/"+t+"/grants", float64(st.Grants))
+		metric("tenant/"+t+"/denies", float64(st.Denies))
+		metric("tenant/"+t+"/sheds", float64(st.Sheds))
+	}
+	metric("participants", float64(res.Participants))
+	metric("live_before_storm", float64(res.LiveBefore))
+	metric("shed", float64(res.Shed))
+	metric("shed_frac", res.ShedFrac)
+	metricDur("healthy_lat_ms", res.HealthyLat)
+	metricDur("storm_lat_ms", res.StormLat)
+	metricDur("recovered_lat_ms", res.RecoveredLat)
+	metric("inflation", res.Inflation)
+	metric("healthy_mb_per_sec", res.HealthyBPS/1e6)
+	metric("storm_mb_per_sec", res.StormBPS/1e6)
+	metric("fallbacks", float64(res.Fallbacks))
+	metric("errors", float64(res.Errors))
+	metric("heartbeat_rounds", float64(res.Heartbeats))
+	metric("heartbeat_batches", float64(res.HBBatches))
+	metric("heartbeat_batch_mean", res.HBBatchMean)
+	metric("grants", float64(res.Grants))
+	metric("renewals", float64(res.Renewals))
+	metric("expirations", float64(res.Expirations))
+	metric("revocations", float64(res.Revocations))
+	metric("active_peak", float64(res.ActivePeak))
 	return nil
 }
 

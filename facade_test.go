@@ -36,7 +36,7 @@ func TestErrorTaxonomyThroughFacade(t *testing.T) {
 
 		// ErrRetryable from the metastore, surfaced through the broker.
 		store.SetPartitioned(true)
-		if _, err := b.Request(p, "db1", 1, remotedb.PlaceSpread); !errors.Is(err, remotedb.ErrRetryable) {
+		if _, err := b.Request(p, remotedb.RequestSpec{Holder: "db1", N: 1, Place: remotedb.PlaceSpread}); !errors.Is(err, remotedb.ErrRetryable) {
 			t.Errorf("request during partition: %v not classified ErrRetryable", err)
 		} else if !remotedb.Retryable(err) {
 			t.Error("Retryable() disagrees with errors.Is")
@@ -44,7 +44,7 @@ func TestErrorTaxonomyThroughFacade(t *testing.T) {
 		store.SetPartitioned(false)
 
 		// ErrRevoked from the broker after a targeted revocation.
-		leases, err := b.Request(p, "db1", 1, remotedb.PlaceSpread)
+		leases, err := b.Request(p, remotedb.RequestSpec{Holder: "db1", N: 1, Place: remotedb.PlaceSpread})
 		if err != nil {
 			t.Fatal(err)
 		}

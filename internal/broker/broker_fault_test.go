@@ -33,7 +33,7 @@ func faultHarness(t *testing.T, ttl time.Duration, mrs int,
 // classified revocation error, not a silent success.
 func TestRenewAfterExpire(t *testing.T) {
 	faultHarness(t, 100*time.Millisecond, 4, func(p *sim.Proc, b *Broker, store *metastore.Store) {
-		leases, err := b.Request(p, "db1", 1, PlacePack)
+		leases, err := b.Request(p, RequestSpec{Holder: "db1", N: 1, Place: PlacePack})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -56,7 +56,7 @@ func TestRenewAfterExpire(t *testing.T) {
 // renewal returns, but the lease stays dead.
 func TestRevokeDuringRenew(t *testing.T) {
 	faultHarness(t, 100*time.Millisecond, 4, func(p *sim.Proc, b *Broker, store *metastore.Store) {
-		leases, err := b.Request(p, "db1", 1, PlacePack)
+		leases, err := b.Request(p, RequestSpec{Holder: "db1", N: 1, Place: PlacePack})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -85,7 +85,7 @@ func TestSweepCadence(t *testing.T) {
 	const sweep = 30 * time.Millisecond
 	faultHarness(t, ttl, 4, func(p *sim.Proc, b *Broker, store *metastore.Store) {
 		p.Kernel().Go("sweep", func(sp *sim.Proc) { b.ExpireLoop(sp, sweep) })
-		leases, err := b.Request(p, "db1", 1, PlacePack)
+		leases, err := b.Request(p, RequestSpec{Holder: "db1", N: 1, Place: PlacePack})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -114,7 +114,7 @@ func TestRequestRollsBackOnPersistFailure(t *testing.T) {
 	faultHarness(t, time.Second, 4, func(p *sim.Proc, b *Broker, store *metastore.Store) {
 		free := b.FreeMRs()
 		store.SetPartitioned(true)
-		_, err := b.Request(p, "db1", 2, PlacePack)
+		_, err := b.Request(p, RequestSpec{Holder: "db1", N: 2, Place: PlacePack})
 		if err == nil {
 			t.Fatal("request should fail while partitioned")
 		}
@@ -126,7 +126,7 @@ func TestRequestRollsBackOnPersistFailure(t *testing.T) {
 				b.ActiveLeases(), b.FreeMRs(), free)
 		}
 		store.SetPartitioned(false)
-		if _, err := b.Request(p, "db1", 2, PlacePack); err != nil {
+		if _, err := b.Request(p, RequestSpec{Holder: "db1", N: 2, Place: PlacePack}); err != nil {
 			t.Errorf("request after heal: %v", err)
 		}
 	})
@@ -136,7 +136,7 @@ func TestRequestRollsBackOnPersistFailure(t *testing.T) {
 // first.
 func TestRevokeOldestIsDeterministic(t *testing.T) {
 	faultHarness(t, time.Second, 8, func(p *sim.Proc, b *Broker, store *metastore.Store) {
-		leases, err := b.Request(p, "db1", 4, PlacePack)
+		leases, err := b.Request(p, RequestSpec{Holder: "db1", N: 4, Place: PlacePack})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -43,7 +43,7 @@ func harness(t *testing.T, n, mrs int, fn func(p *sim.Proc, b *Broker, servers [
 
 func TestGrantAndRelease(t *testing.T) {
 	harness(t, 1, 4, func(p *sim.Proc, b *Broker, servers []*cluster.Server, proxies []*Proxy) {
-		leases, err := b.Request(p, "db1", 2, PlacePack)
+		leases, err := b.Request(p, RequestSpec{Holder: "db1", N: 2, Place: PlacePack})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -64,7 +64,7 @@ func TestGrantAndRelease(t *testing.T) {
 
 func TestInsufficientMemory(t *testing.T) {
 	harness(t, 1, 2, func(p *sim.Proc, b *Broker, _ []*cluster.Server, _ []*Proxy) {
-		if _, err := b.Request(p, "db1", 3, PlacePack); err != ErrNoMemory {
+		if _, err := b.Request(p, RequestSpec{Holder: "db1", N: 3, Place: PlacePack}); err != ErrNoMemory {
 			t.Fatalf("err = %v, want ErrNoMemory", err)
 		}
 	})
@@ -72,7 +72,7 @@ func TestInsufficientMemory(t *testing.T) {
 
 func TestSpreadPlacement(t *testing.T) {
 	harness(t, 4, 4, func(p *sim.Proc, b *Broker, servers []*cluster.Server, _ []*Proxy) {
-		leases, err := b.Request(p, "db1", 8, PlaceSpread)
+		leases, err := b.Request(p, RequestSpec{Holder: "db1", N: 8, Place: PlaceSpread})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -93,7 +93,7 @@ func TestSpreadPlacement(t *testing.T) {
 
 func TestPackPlacement(t *testing.T) {
 	harness(t, 2, 4, func(p *sim.Proc, b *Broker, servers []*cluster.Server, _ []*Proxy) {
-		leases, _ := b.Request(p, "db1", 4, PlacePack)
+		leases, _ := b.Request(p, RequestSpec{Holder: "db1", N: 4, Place: PlacePack})
 		for _, l := range leases {
 			if l.MR.Owner != servers[0] {
 				t.Fatal("pack placement should fill the first server first")
@@ -104,7 +104,7 @@ func TestPackPlacement(t *testing.T) {
 
 func TestRenewExtendsExpiry(t *testing.T) {
 	harness(t, 1, 1, func(p *sim.Proc, b *Broker, _ []*cluster.Server, _ []*Proxy) {
-		leases, _ := b.Request(p, "db1", 1, PlacePack)
+		leases, _ := b.Request(p, RequestSpec{Holder: "db1", N: 1, Place: PlacePack})
 		l := leases[0]
 		old := l.ExpiresAt
 		p.Sleep(time.Second)
@@ -124,7 +124,7 @@ func TestExpiryRevokesLease(t *testing.T) {
 		store := metastore.New(k, 10*time.Microsecond)
 		b := New(p, store, Config{LeaseTTL: 100 * time.Millisecond})
 		b.AddProxy(p, m, 1<<20, 1)
-		leases, _ := b.Request(p, "db1", 1, PlacePack)
+		leases, _ := b.Request(p, RequestSpec{Holder: "db1", N: 1, Place: PlacePack})
 		l := leases[0]
 		k.Go("expirer", func(ep *sim.Proc) { b.ExpireLoop(ep, 50*time.Millisecond) })
 		p.Sleep(300 * time.Millisecond)
@@ -148,7 +148,7 @@ func TestRenewalKeepsLeaseAlive(t *testing.T) {
 		store := metastore.New(k, 10*time.Microsecond)
 		b := New(p, store, Config{LeaseTTL: 100 * time.Millisecond})
 		b.AddProxy(p, m, 1<<20, 1)
-		leases, _ := b.Request(p, "db1", 1, PlacePack)
+		leases, _ := b.Request(p, RequestSpec{Holder: "db1", N: 1, Place: PlacePack})
 		l := leases[0]
 		k.Go("expirer", func(ep *sim.Proc) { b.ExpireLoop(ep, 20*time.Millisecond) })
 		for i := 0; i < 10; i++ {
@@ -169,7 +169,7 @@ func TestMemoryPressureRevokesLeases(t *testing.T) {
 	harness(t, 1, 4, func(p *sim.Proc, b *Broker, servers []*cluster.Server, _ []*Proxy) {
 		m := servers[0]
 		// Lease 3 of 4 MRs; 1 stays free in the pool.
-		leases, _ := b.Request(p, "db1", 3, PlacePack)
+		leases, _ := b.Request(p, RequestSpec{Holder: "db1", N: 3, Place: PlacePack})
 		free := m.MemoryFree()
 		// Local demand needs free memory + 2 MiB: the free MR plus one lease
 		// must be reclaimed.
@@ -193,7 +193,7 @@ func TestMemoryPressureRevokesLeases(t *testing.T) {
 
 func TestProxyFailureRevokesAll(t *testing.T) {
 	harness(t, 2, 3, func(p *sim.Proc, b *Broker, servers []*cluster.Server, proxies []*Proxy) {
-		leases, _ := b.Request(p, "db1", 4, PlaceSpread)
+		leases, _ := b.Request(p, RequestSpec{Holder: "db1", N: 4, Place: PlaceSpread})
 		b.FailProxy(proxies[0])
 		valid := 0
 		for _, l := range leases {
@@ -205,7 +205,7 @@ func TestProxyFailureRevokesAll(t *testing.T) {
 			t.Fatalf("valid leases after failure = %d, want 2", valid)
 		}
 		// New requests must avoid the failed server.
-		more, err := b.Request(p, "db2", 1, PlaceSpread)
+		more, err := b.Request(p, RequestSpec{Holder: "db2", N: 1, Place: PlaceSpread})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -222,7 +222,7 @@ func TestBrokerFailover(t *testing.T) {
 		store := metastore.New(k, 10*time.Microsecond)
 		b1 := New(p, store, DefaultConfig())
 		px, _ := b1.AddProxy(p, m, 1<<20, 4)
-		leases, _ := b1.Request(p, "db1", 2, PlacePack)
+		leases, _ := b1.Request(p, RequestSpec{Holder: "db1", N: 2, Place: PlacePack})
 
 		// Broker b1 "crashes"; a new broker recovers from the metastore.
 		live := map[LeaseID]*Lease{leases[0].ID: leases[0], leases[1].ID: leases[1]}
@@ -237,7 +237,7 @@ func TestBrokerFailover(t *testing.T) {
 		if err := b2.Renew(p, leases[0]); err != nil {
 			t.Fatal(err)
 		}
-		more, err := b2.Request(p, "db1", 1, PlacePack)
+		more, err := b2.Request(p, RequestSpec{Holder: "db1", N: 1, Place: PlacePack})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -258,14 +258,14 @@ func TestFairShareCap(t *testing.T) {
 		b := New(p, store, cfg)
 		b.AddProxy(p, m, 1<<20, 8)
 		// db1 may take at most 4 of the 8 MRs.
-		if _, err := b.Request(p, "db1", 4, PlacePack); err != nil {
+		if _, err := b.Request(p, RequestSpec{Holder: "db1", N: 4, Place: PlacePack}); err != nil {
 			t.Errorf("within quota: %v", err)
 		}
-		if _, err := b.Request(p, "db1", 1, PlacePack); err != ErrQuota {
+		if _, err := b.Request(p, RequestSpec{Holder: "db1", N: 1, Place: PlacePack}); err != ErrQuota {
 			t.Errorf("over quota: %v, want ErrQuota", err)
 		}
 		// Another holder still gets its share.
-		if _, err := b.Request(p, "db2", 4, PlacePack); err != nil {
+		if _, err := b.Request(p, RequestSpec{Holder: "db2", N: 4, Place: PlacePack}); err != nil {
 			t.Errorf("second holder within quota: %v", err)
 		}
 	})

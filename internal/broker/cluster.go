@@ -1,0 +1,542 @@
+package broker
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"remotedb/internal/broker/metastore"
+	"remotedb/internal/cluster"
+	"remotedb/internal/fault"
+	"remotedb/internal/metrics"
+	"remotedb/internal/sim"
+)
+
+// ErrShardDown is returned while a lease's shard replica is failed and
+// not yet recovered. It is transient: handoff via RecoverShard restores
+// service, so it wraps fault.ErrRetryable.
+var ErrShardDown = fmt.Errorf("broker: shard replica down (%w)", fault.ErrRetryable)
+
+// Cluster shards the lease space across N broker replicas and implements
+// LeaseService over them, removing the single-coordinator ceiling:
+//
+//   - Holders and donors map to shards by rendezvous hashing, so adding
+//     or failing one replica only moves that replica's keys.
+//   - Each shard persists under its own metastore namespace
+//     (<ns>/shard<i>), and shards mint disjoint lease IDs by striding,
+//     so a lease's shard is recoverable as id mod stride.
+//   - Admission (tenant quotas, weighted max-min under scarcity) runs
+//     once at the router — per-shard enforcement would multiply every
+//     tenant's allowance by the shard count.
+//   - A failed replica is handed off with RecoverShard, which rebuilds
+//     the shard's broker from its namespace and the holder-side lease
+//     handles the router kept.
+type Cluster struct {
+	k      *sim.Kernel
+	store  *metastore.Store
+	base   Config
+	shards []*shard
+	admit  *admitter
+	// watches is the router-level registry; each shard broker gets one
+	// forwarding watch that survives handoff (a recovered broker starts
+	// with an empty watch table, so the router re-installs forwarding).
+	watches map[string][]RevokeWatch
+	maxFrac float64
+
+	stopExpire bool
+}
+
+// shard is one broker replica plus the router-side state needed to hand
+// it off: which proxies it owns and the live lease handles (Recover's
+// inputs).
+type shard struct {
+	id      int
+	b       *Broker
+	cfg     Config
+	down    bool
+	proxies []*Proxy
+	handles map[LeaseID]*Lease
+}
+
+// NewCluster creates n broker replicas over store. cfg is the base
+// config: its Namespace (default "/broker") roots the per-shard subtrees;
+// Quotas/Weights/MaxFractionPerHolder are enforced at the router and
+// stripped from the shard configs.
+func NewCluster(p *sim.Proc, store *metastore.Store, n int, cfg Config) *Cluster {
+	if n < 1 {
+		n = 1
+	}
+	ns := cfg.Namespace
+	if ns == "" {
+		ns = "/broker"
+	}
+	c := &Cluster{
+		k:       p.Kernel(),
+		store:   store,
+		base:    cfg,
+		maxFrac: cfg.MaxFractionPerHolder,
+		watches: make(map[string][]RevokeWatch),
+	}
+	if cfg.Quotas != nil || cfg.Weights != nil {
+		c.admit = newAdmitter(cfg.Quotas, cfg.Weights, cfg.ScarceFrac)
+	}
+	for i := 0; i < n; i++ {
+		scfg := Config{
+			LeaseTTL:   cfg.LeaseTTL,
+			Namespace:  fmt.Sprintf("%s/shard%d", ns, i),
+			ShardID:    i,
+			ShardCount: n,
+		}
+		sh := &shard{id: i, cfg: scfg, handles: make(map[LeaseID]*Lease)}
+		sh.b = New(p, store, scfg)
+		c.shards = append(c.shards, sh)
+		c.installForwarder(sh)
+	}
+	return c
+}
+
+// installForwarder hooks the shard broker's revoke stream into the
+// router: drop the holder-side handle, settle tenant accounting, then
+// fan out to the user's watches.
+func (c *Cluster) installForwarder(sh *shard) {
+	sh.b.OnRevoke("", func(l *Lease) {
+		_, had := sh.handles[l.ID]
+		delete(sh.handles, l.ID)
+		if had && c.admit != nil {
+			st := c.admit.tenant(l.Tenant)
+			st.HeldMRs--
+			st.HeldBytes -= int64(l.MR.Size())
+		}
+		for _, fn := range c.watches[l.Holder] {
+			fn(l)
+		}
+		for _, fn := range c.watches[""] {
+			fn(l)
+		}
+	})
+}
+
+// ShardCount returns the number of replicas.
+func (c *Cluster) ShardCount() int { return len(c.shards) }
+
+// Shard returns replica i's broker (tests and metrics drilling).
+func (c *Cluster) Shard(i int) *Broker { return c.shards[i].b }
+
+// ShardDown reports whether replica i is currently failed.
+func (c *Cluster) ShardDown(i int) bool { return c.shards[i].down }
+
+func (c *Cluster) shardOf(id LeaseID) *shard {
+	return c.shards[int(id)%len(c.shards)]
+}
+
+// LeaseTTL returns the configured time-to-live (LeaseService).
+func (c *Cluster) LeaseTTL() time.Duration { return c.base.LeaseTTL }
+
+// AddProxy registers a donor, assigning it to a shard by rendezvous
+// hashing on the server name (first live shard in preference order).
+func (c *Cluster) AddProxy(p *sim.Proc, server *cluster.Server, mrSize, mrCount int) (*Proxy, error) {
+	for _, i := range rendezvousOrder(server.Name, len(c.shards)) {
+		sh := c.shards[i]
+		if sh.down {
+			continue
+		}
+		px, err := sh.b.AddProxy(p, server, mrSize, mrCount)
+		if err != nil {
+			return nil, err
+		}
+		sh.proxies = append(sh.proxies, px)
+		return px, nil
+	}
+	return nil, ErrShardDown
+}
+
+// FailProxy simulates a donor crash (routes to the owning shard).
+func (c *Cluster) FailProxy(px *Proxy) {
+	for _, sh := range c.shards {
+		for _, own := range sh.proxies {
+			if own == px {
+				sh.b.FailProxy(px)
+				return
+			}
+		}
+	}
+}
+
+// Request implements LeaseService. Admission runs once at the router;
+// placement starts at the holder's home shard (rendezvous) and spills to
+// the next shards in preference order when the home shard's donors are
+// exhausted. If the cluster as a whole cannot cover spec.N, everything
+// granted so far is rolled back and ErrNoMemory is returned.
+func (c *Cluster) Request(p *sim.Proc, spec RequestSpec) ([]*Lease, error) {
+	spec = spec.normalized()
+	if spec.N <= 0 {
+		return nil, nil
+	}
+	total := 0
+	avail := 0
+	for _, sh := range c.shards {
+		if sh.down {
+			continue
+		}
+		total += sh.b.TotalMRs()
+		avail += sh.b.FreeFor(spec.Avoid)
+	}
+	if avail < spec.N {
+		return nil, ErrNoMemory
+	}
+	if c.maxFrac > 0 {
+		held := 0
+		for _, sh := range c.shards {
+			for _, l := range sh.handles {
+				if l.Holder == spec.Holder {
+					held++
+				}
+			}
+		}
+		if float64(held+spec.N) > c.maxFrac*float64(total) {
+			return nil, ErrQuota
+		}
+	}
+	if c.admit != nil {
+		held := make(map[string]int64)
+		for name, st := range c.admit.tenants {
+			held[name] = st.HeldMRs
+		}
+		if err := c.admit.admit(spec.Tenant, spec.N, spec.Priority, int64(c.mrSize()), total, held); err != nil {
+			return nil, err
+		}
+	}
+	var out []*Lease
+	for _, i := range rendezvousOrder(spec.Holder, len(c.shards)) {
+		if len(out) == spec.N {
+			break
+		}
+		sh := c.shards[i]
+		if sh.down {
+			continue
+		}
+		n := spec.N - len(out)
+		if free := sh.b.FreeFor(spec.Avoid); free < n {
+			n = free
+		}
+		if n <= 0 {
+			continue
+		}
+		sub := spec
+		sub.N = n
+		ls, err := sh.b.Request(p, sub)
+		if err != nil {
+			continue
+		}
+		for _, l := range ls {
+			sh.handles[l.ID] = l
+			if c.admit != nil {
+				st := c.admit.tenant(l.Tenant)
+				st.HeldMRs++
+				st.HeldBytes += int64(l.MR.Size())
+			}
+		}
+		out = append(out, ls...)
+	}
+	if len(out) < spec.N {
+		for _, l := range out {
+			c.Release(p, l)
+		}
+		return nil, ErrNoMemory
+	}
+	if c.admit != nil {
+		c.admit.tenant(spec.Tenant).Grants += int64(len(out))
+	}
+	return out, nil
+}
+
+func (c *Cluster) mrSize() int {
+	for _, sh := range c.shards {
+		if sz := sh.b.MRSize(); sz > 0 {
+			return sz
+		}
+	}
+	return 0
+}
+
+// Renew implements LeaseService, routing by the lease's shard.
+func (c *Cluster) Renew(p *sim.Proc, l *Lease) error {
+	sh := c.shardOf(l.ID)
+	if sh.down {
+		return ErrShardDown
+	}
+	return sh.b.Renew(p, l)
+}
+
+// RenewAll implements LeaseService: the holder's cohort is grouped by
+// shard and each group renews with one batched metastore round trip.
+// Individually dead leases land in failed; a shard-level transport
+// failure (replica down, metastore partition) leaves that whole group
+// un-renewed and surfaces as a retryable error after every other group
+// has been processed — re-renewing an already-renewed lease on the
+// holder's retry is harmless.
+func (c *Cluster) RenewAll(p *sim.Proc, holder string, ls []*Lease) (failed []*Lease, err error) {
+	groups := make(map[int][]*Lease)
+	for _, l := range ls {
+		sid := int(l.ID) % len(c.shards)
+		groups[sid] = append(groups[sid], l)
+	}
+	sids := make([]int, 0, len(groups))
+	for sid := range groups {
+		sids = append(sids, sid)
+	}
+	sort.Ints(sids)
+	var firstErr error
+	for _, sid := range sids {
+		sh := c.shards[sid]
+		if sh.down {
+			if firstErr == nil {
+				firstErr = ErrShardDown
+			}
+			continue
+		}
+		f, gerr := sh.b.RenewAll(p, holder, groups[sid])
+		failed = append(failed, f...)
+		if gerr != nil && firstErr == nil {
+			firstErr = gerr
+		}
+	}
+	if firstErr != nil {
+		return failed, fmt.Errorf("broker: cluster heartbeat: %w", firstErr)
+	}
+	return failed, nil
+}
+
+// Release implements LeaseService.
+func (c *Cluster) Release(p *sim.Proc, l *Lease) {
+	sh := c.shardOf(l.ID)
+	_, had := sh.handles[l.ID]
+	delete(sh.handles, l.ID)
+	if had && c.admit != nil {
+		st := c.admit.tenant(l.Tenant)
+		st.HeldMRs--
+		st.HeldBytes -= int64(l.MR.Size())
+	}
+	if sh.down {
+		// The replica can't process the release; the lease will expire
+		// once the shard recovers and sweeps. Dropping the handle is
+		// enough for the holder's side.
+		return
+	}
+	sh.b.Release(p, l)
+}
+
+// OnRevoke implements LeaseService. Watches are kept at the router and
+// forwarded per shard, so they survive shard handoff.
+func (c *Cluster) OnRevoke(holder string, fn RevokeWatch) {
+	c.watches[holder] = append(c.watches[holder], fn)
+}
+
+// FailShard simulates the crash of replica i's broker process: its
+// in-memory state is gone, renewals and releases routed to it fail
+// retryable, and its donors stop serving new grants. The durable state
+// in the shard's metastore namespace and the holder-side lease handles
+// survive — RecoverShard rebuilds from them.
+func (c *Cluster) FailShard(i int) { c.shards[i].down = true }
+
+// RecoverShard hands replica i's lease space to a fresh broker rebuilt
+// from the shard's metastore namespace (the Recover election path), re-
+// adopting the shard's proxies and the still-live lease handles. Holder
+// lease pointers stay valid across the handoff; renewals resume on the
+// new replica.
+func (c *Cluster) RecoverShard(p *sim.Proc, i int) error {
+	sh := c.shards[i]
+	live := make(map[LeaseID]*Lease, len(sh.handles))
+	now := p.Now()
+	for id, l := range sh.handles {
+		if l.Valid(now) {
+			live[id] = l
+		}
+	}
+	nb, err := Recover(p, c.store, sh.cfg, sh.proxies, live)
+	if err != nil {
+		return err
+	}
+	// Carry the counters and metrics over so cluster aggregates stay
+	// monotonic across handoffs.
+	old := sh.b
+	nb.Grants, nb.Renewals = old.Grants, old.Renewals
+	nb.Expirations, nb.Revocations = old.Expirations, old.Revocations
+	nb.GaugeActive.Peak = old.GaugeActive.Peak
+	nb.GaugeFree.Peak = old.GaugeFree.Peak
+	nb.HeartbeatBatch = old.HeartbeatBatch
+	nb.refreshGauges()
+	sh.b = nb
+	sh.handles = make(map[LeaseID]*Lease, len(live))
+	for id, l := range live {
+		sh.handles[id] = l
+	}
+	c.installForwarder(sh)
+	sh.down = false
+	return nil
+}
+
+// ShedFair revokes up to n live leases tenant-fairly across all live
+// shards (round-robin over tenants, oldest lease first within each) and
+// returns how many it revoked — the cluster-wide reclamation-storm
+// primitive.
+func (c *Cluster) ShedFair(n int) int {
+	var cands []*Lease
+	for _, sh := range c.shards {
+		if sh.down {
+			continue
+		}
+		for _, l := range sh.handles {
+			cands = append(cands, l)
+		}
+	}
+	victims := victimOrder(cands)
+	if n > len(victims) {
+		n = len(victims)
+	}
+	for _, l := range victims[:n] {
+		if c.admit != nil {
+			c.admit.tenant(l.Tenant).Sheds++
+		}
+		c.shardOf(l.ID).b.Revoke(l.ID)
+	}
+	return n
+}
+
+// Revoke forcibly revokes one lease by ID on its shard.
+func (c *Cluster) Revoke(id LeaseID) bool {
+	sh := c.shardOf(id)
+	if sh.down {
+		return false
+	}
+	return sh.b.Revoke(id)
+}
+
+// RevokeOldest revokes the n oldest live leases cluster-wide (lowest IDs
+// first) and returns how many were revoked.
+func (c *Cluster) RevokeOldest(n int) int {
+	var ids []LeaseID
+	for _, sh := range c.shards {
+		if sh.down {
+			continue
+		}
+		for id := range sh.handles {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	revoked := 0
+	for _, id := range ids {
+		if revoked >= n {
+			break
+		}
+		if c.shardOf(id).b.Revoke(id) {
+			revoked++
+		}
+	}
+	return revoked
+}
+
+// ExpireLoop sweeps every live shard at interval until StopExpireLoop.
+func (c *Cluster) ExpireLoop(p *sim.Proc, interval time.Duration) {
+	for !c.stopExpire {
+		p.Sleep(interval)
+		if c.stopExpire {
+			return
+		}
+		now := p.Now()
+		for _, sh := range c.shards {
+			if !sh.down {
+				sh.b.SweepExpired(now)
+			}
+		}
+	}
+}
+
+// StopExpireLoop asks a running ExpireLoop to exit at its next tick.
+func (c *Cluster) StopExpireLoop() { c.stopExpire = true }
+
+// ActiveLeases sums live leases over live shards.
+func (c *Cluster) ActiveLeases() int {
+	n := 0
+	for _, sh := range c.shards {
+		if !sh.down {
+			n += sh.b.ActiveLeases()
+		}
+	}
+	return n
+}
+
+// FreeMRs sums unleased MRs over live shards.
+func (c *Cluster) FreeMRs() int {
+	n := 0
+	for _, sh := range c.shards {
+		if !sh.down {
+			n += sh.b.FreeMRs()
+		}
+	}
+	return n
+}
+
+// Grants, Renewals, Expirations, Revocations aggregate shard counters.
+func (c *Cluster) Grants() int64      { return c.sum(func(b *Broker) int64 { return b.Grants }) }
+func (c *Cluster) Renewals() int64    { return c.sum(func(b *Broker) int64 { return b.Renewals }) }
+func (c *Cluster) Expirations() int64 { return c.sum(func(b *Broker) int64 { return b.Expirations }) }
+func (c *Cluster) Revocations() int64 { return c.sum(func(b *Broker) int64 { return b.Revocations }) }
+
+func (c *Cluster) sum(f func(*Broker) int64) int64 {
+	var n int64
+	for _, sh := range c.shards {
+		n += f(sh.b)
+	}
+	return n
+}
+
+// HeartbeatBatch merges the per-shard heartbeat batch-width stats.
+func (c *Cluster) HeartbeatBatch() metrics.Distribution {
+	var d metrics.Distribution
+	for _, sh := range c.shards {
+		d.Merge(sh.b.HeartbeatBatch)
+	}
+	return d
+}
+
+// ActiveGauge and FreeGauge aggregate the shard gauges (peaks are summed
+// per shard, a conservative upper bound on the cluster-wide peak).
+func (c *Cluster) ActiveGauge() metrics.Gauge {
+	return c.gauge(func(b *Broker) metrics.Gauge { return b.GaugeActive })
+}
+func (c *Cluster) FreeGauge() metrics.Gauge {
+	return c.gauge(func(b *Broker) metrics.Gauge { return b.GaugeFree })
+}
+
+func (c *Cluster) gauge(f func(*Broker) metrics.Gauge) metrics.Gauge {
+	var g metrics.Gauge
+	for _, sh := range c.shards {
+		sg := f(sh.b)
+		g.Value += sg.Value
+		g.Peak += sg.Peak
+	}
+	return g
+}
+
+// TenantStats merges router-level admission accounting with any shard-
+// level stats (standalone shards keep none in a cluster).
+func (c *Cluster) TenantStats() map[string]TenantStats {
+	out := make(map[string]TenantStats)
+	if c.admit != nil {
+		for name, st := range c.admit.tenants {
+			cur := out[name]
+			cur.merge(*st)
+			out[name] = cur
+		}
+	}
+	for _, sh := range c.shards {
+		for name, st := range sh.b.TenantStats() {
+			cur := out[name]
+			cur.merge(st)
+			out[name] = cur
+		}
+	}
+	return out
+}

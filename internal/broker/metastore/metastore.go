@@ -216,6 +216,37 @@ func (s *Store) Set(p *sim.Proc, path string, data []byte, version int64) (int64
 	return n.version, nil
 }
 
+// BatchSet is one write of a SetBatch.
+type BatchSet struct {
+	Path string
+	Data []byte
+}
+
+// SetBatch replaces the data of many nodes in ONE round trip to the
+// ensemble — the batched-heartbeat primitive: a broker renews every
+// lease of one holder for the cost of a single RPC. The batch is not a
+// transaction: nodes that exist are updated (version bumped, watches
+// fired), nodes that do not are reported by index in missing, and a
+// partition rejects the whole batch. Version checks are deliberately
+// absent — last-writer-wins matches how lease expiries are maintained.
+func (s *Store) SetBatch(p *sim.Proc, items []BatchSet) (missing []int, err error) {
+	s.charge(p)
+	if err := s.reject(); err != nil {
+		return nil, err
+	}
+	for i, it := range items {
+		n, ok := s.nodes[it.Path]
+		if !ok {
+			missing = append(missing, i)
+			continue
+		}
+		n.data = append([]byte(nil), it.Data...)
+		n.version++
+		s.notify(Event{Path: it.Path})
+	}
+	return missing, nil
+}
+
 // Delete removes a childless node if version matches (-1 skips).
 func (s *Store) Delete(p *sim.Proc, path string, version int64) error {
 	s.charge(p)

@@ -36,6 +36,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"time"
 
 	"remotedb/internal/broker"
@@ -61,14 +62,24 @@ type Salvage func(p *sim.Proc, f *File, off, n int64) error
 
 // FS creates and opens remote-memory files for one database server.
 type FS struct {
-	Broker    *broker.Broker
+	Broker    broker.LeaseService
 	Client    *rmem.Client
 	Transport rmem.Transport
 	Placement broker.Placement
 
-	// AutoRenew spawns a background renewal process per file keeping its
-	// leases alive at half-TTL cadence.
+	// Tenant is the workload leases are charged to for broker admission
+	// (quotas, max-min fairness); empty defaults to the holder name.
+	Tenant string
+
+	// AutoRenew keeps leases alive with one batched heartbeat process
+	// per FS: every still-healthy lease of every open file renews in a
+	// single broker round trip (LeaseService.RenewAll), so renewal load
+	// scales with holders, not leases.
 	AutoRenew bool
+
+	// HeartbeatEvery is the batched-renewal cadence (0 = half the lease
+	// TTL).
+	HeartbeatEvery time.Duration
 
 	// Recover enables re-lease/restripe recovery: when a stripe's lease
 	// is revoked or expires, the FS leases a replacement MR and invokes
@@ -100,13 +111,17 @@ type FS struct {
 	// (a per-file SetSalvage overrides it).
 	DefaultSalvage Salvage
 
-	files map[string]*File
+	k        *sim.Kernel
+	holder   string
+	files    map[string]*File
+	hbActive bool
 
 	// Fault-tolerance counters (virtual-time observability).
 	Restripes    int64 // stripes (all replicas) successfully re-leased
 	Salvages     int64 // salvage callbacks run to completion
 	RenewRetries int64 // renewal attempts beyond the first, per RPC
 	LostStripes  int64 // whole-stripe-loss events (every replica gone)
+	Heartbeats   int64 // batched renewals sent (after retries)
 
 	// Integrity / replication counters (see integrity.go). Counter.N is
 	// the event count, Counter.Bytes the logical bytes involved.
@@ -124,6 +139,12 @@ type Config struct {
 	Placement broker.Placement
 	Client    rmem.ClientConfig
 	AutoRenew bool
+
+	// Tenant tags lease requests for broker admission (see FS.Tenant).
+	Tenant string
+	// HeartbeatEvery is the batched-renewal cadence (see
+	// FS.HeartbeatEvery).
+	HeartbeatEvery time.Duration
 
 	// Recover enables re-lease/restripe recovery (see FS.Recover).
 	Recover bool
@@ -156,8 +177,13 @@ func DefaultConfig() Config {
 }
 
 // NewFS creates a remote file system client on the database server that
-// owns client. The client's staging buffers are registered here.
-func NewFS(p *sim.Proc, b *broker.Broker, client *rmem.Client, cfg Config) *FS {
+// owns client. The client's staging buffers are registered here. b is
+// any LeaseService — a standalone broker.Broker or a sharded
+// broker.Cluster. The FS subscribes to the service's revoke stream, so
+// repair of a revoked stripe starts the moment the broker tears the
+// lease down instead of waiting for the next access or renewal to
+// stumble over it.
+func NewFS(p *sim.Proc, b broker.LeaseService, client *rmem.Client, cfg Config) *FS {
 	if cfg.Replication > 1 {
 		// Failover needs verification to tell a good replica from a bad
 		// one, so replication implies integrity frames.
@@ -169,12 +195,14 @@ func NewFS(p *sim.Proc, b *broker.Broker, client *rmem.Client, cfg Config) *FS {
 	if cfg.Integrity && cfg.BlockSize <= 0 {
 		cfg.BlockSize = DefaultBlockSize
 	}
-	return &FS{
+	fs := &FS{
 		Broker:         b,
 		Client:         client,
 		Transport:      rmem.NewTransport(cfg.Protocol),
 		Placement:      cfg.Placement,
+		Tenant:         cfg.Tenant,
 		AutoRenew:      cfg.AutoRenew,
+		HeartbeatEvery: cfg.HeartbeatEvery,
 		Recover:        cfg.Recover,
 		Integrity:      cfg.Integrity,
 		BlockSize:      cfg.BlockSize,
@@ -182,7 +210,30 @@ func NewFS(p *sim.Proc, b *broker.Broker, client *rmem.Client, cfg Config) *FS {
 		ScrubEvery:     cfg.ScrubEvery,
 		Retry:          cfg.Retry,
 		DefaultSalvage: cfg.Salvage,
+		k:              p.Kernel(),
+		holder:         client.Server.Name,
 		files:          make(map[string]*File),
+	}
+	b.OnRevoke(fs.holder, fs.onRevoked)
+	return fs
+}
+
+// onRevoked is the FS's revoke-watch: map the torn-down lease back to
+// its (file, stripe, replica) slot and start repair. It runs inside the
+// revoking process, so it only flips flags and spawns repair procs.
+func (fs *FS) onRevoked(l *broker.Lease) {
+	for _, f := range fs.files {
+		if f.closed || f.deleted || f.unavailable {
+			continue
+		}
+		for s, reps := range f.leases {
+			for r, cur := range reps {
+				if cur == l {
+					f.replicaLost(s, r)
+					return
+				}
+			}
+		}
 	}
 }
 
@@ -241,9 +292,16 @@ func (fs *FS) request(p *sim.Proc, n int) ([]*broker.Lease, error) {
 // requestAvoiding leases n MRs placed on no donor named in avoid (the
 // replica anti-affinity constraint), retrying transient failures.
 func (fs *FS) requestAvoiding(p *sim.Proc, n int, avoid map[string]bool) ([]*broker.Lease, error) {
+	spec := broker.RequestSpec{
+		Holder: fs.holder,
+		N:      n,
+		Place:  fs.Placement,
+		Avoid:  avoid,
+		Tenant: fs.Tenant,
+	}
 	var out []*broker.Lease
 	err := fault.Retry(p, fs.Retry, func() error {
-		leases, err := fs.Broker.RequestAvoiding(p, fs.Client.Server.Name, n, fs.Placement, avoid)
+		leases, err := fs.Broker.Request(p, spec)
 		if err != nil {
 			return err
 		}
@@ -340,8 +398,9 @@ func (fs *FS) Create(p *sim.Proc, name string, size int64) (*File, error) {
 		f.gens = make([]uint64, (size+int64(fs.BlockSize)-1)/int64(fs.BlockSize))
 	}
 	fs.files[name] = f
-	if fs.AutoRenew {
-		p.Kernel().Go("lease-renew:"+name, f.renewLoop)
+	if fs.AutoRenew && !fs.hbActive {
+		fs.hbActive = true
+		fs.k.Go("lease-heartbeat:"+fs.holder, fs.heartbeatLoop)
 	}
 	if fs.ScrubEvery > 0 && fs.Integrity {
 		p.Kernel().Go("scrub:"+name, f.scrubLoop)
@@ -427,40 +486,93 @@ func (fs *FS) Delete(p *sim.Proc, name string) error {
 // re-leased stripes come back zeroed.
 func (f *File) SetSalvage(fn Salvage) { f.salvage = fn }
 
-// renewLoop keeps the file's leases alive until stopped, retrying
-// transient failures with backoff and handing truly lost leases to the
-// repair path.
-func (f *File) renewLoop(p *sim.Proc) {
-	interval := f.fs.Broker.LeaseTTL() / 2
+// leaseRef locates one lease's slot for the heartbeat cohort.
+type leaseRef struct {
+	f    *File
+	s, r int
+}
+
+// active reports whether f still wants its leases kept alive.
+func (f *File) active() bool {
+	return !f.closed && !f.deleted && !f.unavailable && !f.renewStop
+}
+
+// heartbeatLoop is the FS-wide batched renewal process: each tick it
+// gathers every healthy lease of every active file into one cohort and
+// renews it with a single LeaseService.RenewAll call — one broker round
+// trip per holder per tick, regardless of how many leases the holder
+// has. Leases the service reports individually dead go to the repair
+// path; a transport failure that outlives the retry budget means the
+// whole cohort missed its heartbeat and every member is treated as
+// lost. The loop exits when no file is active (so experiment event
+// queues drain) and restarts on the next Create.
+func (fs *FS) heartbeatLoop(p *sim.Proc) {
+	interval := fs.HeartbeatEvery
+	if interval <= 0 {
+		interval = fs.Broker.LeaseTTL() / 2
+	}
 	for {
 		p.Sleep(interval)
-		if f.renewStop || f.deleted {
+		names := make([]string, 0, len(fs.files))
+		for name := range fs.files {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		var cohort []*broker.Lease
+		var refs []leaseRef
+		anyActive := false
+		for _, name := range names {
+			f := fs.files[name]
+			if !f.active() {
+				continue
+			}
+			anyActive = true
+			for s := range f.leases {
+				for r := range f.leases[s] {
+					if f.down[s][r] || f.repairing[s][r] {
+						continue
+					}
+					cohort = append(cohort, f.leases[s][r])
+					refs = append(refs, leaseRef{f, s, r})
+				}
+			}
+		}
+		if !anyActive {
+			fs.hbActive = false
 			return
 		}
-		for s := range f.leases {
-			for r := range f.leases[s] {
-				if f.down[s][r] || f.repairing[s][r] {
-					continue
-				}
-				l := f.leases[s][r]
-				attempts := 0
-				err := fault.Retry(p, f.fs.Retry, func() error {
-					attempts++
-					return f.fs.Broker.Renew(p, l)
-				})
-				if attempts > 1 {
-					f.fs.RenewRetries += int64(attempts - 1)
-				}
-				if f.renewStop || f.deleted {
-					return
-				}
-				if err != nil {
-					// Retries exhausted or the lease is revoked/expired:
-					// either way this replica's region must be replaced.
-					f.replicaLost(p, s, r)
-					if f.unavailable {
-						return
-					}
+		if len(cohort) == 0 {
+			continue // everything is under repair; check again next tick
+		}
+		attempts := 0
+		var failed []*broker.Lease
+		err := fault.Retry(p, fs.Retry, func() error {
+			attempts++
+			var rerr error
+			failed, rerr = fs.Broker.RenewAll(p, fs.holder, cohort)
+			return rerr
+		})
+		if attempts > 1 {
+			fs.RenewRetries += int64(attempts - 1)
+		}
+		fs.Heartbeats++
+		if err != nil {
+			// The broker/metastore stayed unreachable past the retry
+			// budget: nothing in the cohort was renewed, so the whole
+			// cohort is headed for expiry together.
+			for _, ref := range refs {
+				ref.f.replicaLost(ref.s, ref.r)
+			}
+			continue
+		}
+		if len(failed) > 0 {
+			byLease := make(map[*broker.Lease]leaseRef, len(cohort))
+			for i, l := range cohort {
+				byLease[l] = refs[i]
+			}
+			for _, l := range failed {
+				if ref, ok := byLease[l]; ok {
+					ref.f.replicaLost(ref.s, ref.r)
 				}
 			}
 		}
@@ -472,8 +584,10 @@ func (f *File) renewLoop(p *sim.Proc) {
 // background process rebuilds the lost replica from a peer (no salvage).
 // When every replica is gone the stripe takes the legacy degraded-mode
 // path: re-lease, salvage, or — with recovery disabled — permanent
-// unavailability.
-func (f *File) replicaLost(p *sim.Proc, s, r int) {
+// unavailability. It takes no process: it only flips flags and spawns
+// repair procs on the FS kernel, so revoke-watches can call it from any
+// context.
+func (f *File) replicaLost(s, r int) {
 	if f.closed || f.deleted || f.unavailable {
 		return
 	}
@@ -487,7 +601,7 @@ func (f *File) replicaLost(p *sim.Proc, s, r int) {
 		}
 		f.repairing[s][r] = true
 		name := fmt.Sprintf("replica-repair:%s:%d.%d", f.name, s, r)
-		p.Kernel().Go(name, func(rp *sim.Proc) { f.repairReplica(rp, s, r) })
+		f.fs.k.Go(name, func(rp *sim.Proc) { f.repairReplica(rp, s, r) })
 		return
 	}
 	// Whole stripe gone.
@@ -501,7 +615,7 @@ func (f *File) replicaLost(p *sim.Proc, s, r int) {
 		f.repairing[s][i] = true
 	}
 	name := fmt.Sprintf("restripe:%s:%d", f.name, s)
-	p.Kernel().Go(name, func(rp *sim.Proc) { f.repairStripe(rp, s) })
+	f.fs.k.Go(name, func(rp *sim.Proc) { f.repairStripe(rp, s) })
 }
 
 // healthyReplicas counts stripe s replicas not currently down.
@@ -700,7 +814,7 @@ func (f *File) access(p *sim.Proc, b []byte, off int64, write bool) error {
 		}
 		l := f.leases[idx][0]
 		if !l.Valid(p.Now()) {
-			f.replicaLost(p, int(idx), 0)
+			f.replicaLost(int(idx), 0)
 			if f.unavailable {
 				return vfs.ErrUnavailable
 			}
@@ -714,7 +828,7 @@ func (f *File) access(p *sim.Proc, b []byte, off int64, write bool) error {
 		}
 		if err != nil {
 			if errors.Is(err, rmem.ErrRevoked) {
-				f.replicaLost(p, int(idx), 0)
+				f.replicaLost(int(idx), 0)
 				if f.unavailable {
 					return vfs.ErrUnavailable
 				}

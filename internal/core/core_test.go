@@ -234,6 +234,64 @@ func TestAutoRenewKeepsFileAlive(t *testing.T) {
 	k.Run(3 * time.Second)
 }
 
+// TestHeartbeatBatchesWholeCohort: the FS renews every lease it holds —
+// across all of its files — with one batched heartbeat per tick, so the
+// broker sees holder-sized batches, not per-lease round trips, and the
+// loop winds down once the last file is gone.
+func TestHeartbeatBatchesWholeCohort(t *testing.T) {
+	k := sim.New(1)
+	k.Go("t", func(p *sim.Proc) {
+		scfg := cluster.DefaultConfig()
+		scfg.MemoryBytes = 64 << 20
+		db := cluster.NewServer(k, "db1", scfg)
+		m := cluster.NewServer(k, "m1", scfg)
+		store := metastore.New(k, 10*time.Microsecond)
+		b := broker.New(p, store, broker.Config{LeaseTTL: 200 * time.Millisecond})
+		b.AddProxy(p, m, 1<<20, 8)
+		k.Go("expire", func(ep *sim.Proc) { b.ExpireLoop(ep, 50*time.Millisecond) })
+		defer b.StopExpireLoop()
+		client := rmem.NewClient(p, db, rmem.DefaultClientConfig())
+		cfg := DefaultConfig()
+		cfg.HeartbeatEvery = 60 * time.Millisecond
+		fs := NewFS(p, b, client, cfg)
+		f1, err := fs.Create(p, "f1", 2<<20)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f2, err := fs.Create(p, "f2", 3<<20)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		f1.OpenConn(p)
+		f2.OpenConn(p)
+		p.Sleep(time.Second) // many TTLs, many heartbeats
+		if err := f1.ReadAt(p, make([]byte, 4096), 0); err != nil {
+			t.Errorf("f1 read after heartbeats: %v", err)
+		}
+		if err := f2.ReadAt(p, make([]byte, 4096), 0); err != nil {
+			t.Errorf("f2 read after heartbeats: %v", err)
+		}
+		if fs.Heartbeats == 0 {
+			t.Error("no heartbeat rounds recorded")
+		}
+		hb := b.HeartbeatBatch
+		if hb.N != fs.Heartbeats {
+			t.Errorf("broker saw %d batches for %d heartbeat rounds", hb.N, fs.Heartbeats)
+		}
+		// Both files' leases (2 + 3 MRs) renew in one batch per round.
+		if hb.Mean() != 5 {
+			t.Errorf("mean batch = %.1f leases, want the whole 5-lease cohort", hb.Mean())
+		}
+		fs.Delete(p, "f1")
+		fs.Delete(p, "f2")
+		// The heartbeat loop must exit now that no file is active, or
+		// k.Run would never drain the event queue.
+	})
+	k.Run(10 * time.Second)
+}
+
 func TestLeaseExpiryWithoutRenewal(t *testing.T) {
 	k := sim.New(1)
 	k.Go("t", func(p *sim.Proc) {

@@ -197,12 +197,18 @@ func (f *File) fetchBlockSkip(p *sim.Proc, g int64, frame []byte, skip int) erro
 	var bad []int
 	failedOver := false
 	for r := range f.leases[s] {
-		if r == skip || f.down[s][r] {
+		if r == skip {
+			continue
+		}
+		if f.down[s][r] {
+			// Marked lost already (revoke-watch or an earlier access):
+			// serving past it is a failover all the same.
+			failedOver = true
 			continue
 		}
 		l := f.leases[s][r]
 		if !l.Valid(p.Now()) {
-			f.replicaLost(p, s, r)
+			f.replicaLost(s, r)
 			if f.unavailable {
 				return vfs.ErrUnavailable
 			}
@@ -212,7 +218,7 @@ func (f *File) fetchBlockSkip(p *sim.Proc, g int64, frame []byte, skip int) erro
 		err := f.fs.Transport.Read(p, f.fs.Client, l.MR, frameOff, frame)
 		if err != nil {
 			if errors.Is(err, rmem.ErrRevoked) {
-				f.replicaLost(p, s, r)
+				f.replicaLost(s, r)
 				if f.unavailable {
 					return vfs.ErrUnavailable
 				}
@@ -256,12 +262,12 @@ func (f *File) repairBlockOn(p *sim.Proc, g int64, r int, goodFrame []byte) {
 	}
 	l := f.leases[s][r]
 	if !l.Valid(p.Now()) {
-		f.replicaLost(p, s, r)
+		f.replicaLost(s, r)
 		return
 	}
 	err := f.fs.Transport.Write(p, f.fs.Client, l.MR, frameOff, goodFrame)
 	if errors.Is(err, rmem.ErrRevoked) {
-		f.replicaLost(p, s, r)
+		f.replicaLost(s, r)
 		return
 	}
 	if err == nil {
@@ -322,7 +328,7 @@ func (f *File) writeBlock(p *sim.Proc, g, within int64, src []byte) error {
 		}
 		l := f.leases[s][r]
 		if !l.Valid(p.Now()) {
-			f.replicaLost(p, s, r)
+			f.replicaLost(s, r)
 			if f.unavailable {
 				return vfs.ErrUnavailable
 			}
@@ -331,7 +337,7 @@ func (f *File) writeBlock(p *sim.Proc, g, within int64, src []byte) error {
 		err := f.fs.Transport.Write(p, f.fs.Client, l.MR, frameOff, frame)
 		if err != nil {
 			if errors.Is(err, rmem.ErrRevoked) {
-				f.replicaLost(p, s, r)
+				f.replicaLost(s, r)
 				if f.unavailable {
 					return vfs.ErrUnavailable
 				}
@@ -494,14 +500,14 @@ func (f *File) scrubStripe(p *sim.Proc, s int) {
 			}
 			l := f.leases[s][r]
 			if !l.Valid(p.Now()) {
-				f.replicaLost(p, s, r)
+				f.replicaLost(s, r)
 				break
 			}
 			_, frameOff := f.blockHome(g)
 			err := f.fs.Transport.Read(p, f.fs.Client, l.MR, frameOff, scratch[:run*fsz])
 			if err != nil {
 				if errors.Is(err, rmem.ErrRevoked) {
-					f.replicaLost(p, s, r)
+					f.replicaLost(s, r)
 				}
 				break
 			}

@@ -87,7 +87,7 @@ func (f *File) accessV(p *sim.Proc, vecs []vfs.Vec, write bool) error {
 			}
 			l := f.leases[idx][0]
 			if !l.Valid(p.Now()) {
-				f.replicaLost(p, int(idx), 0)
+				f.replicaLost(int(idx), 0)
 				if f.unavailable {
 					return vfs.ErrUnavailable
 				}
@@ -110,7 +110,7 @@ func (f *File) accessV(p *sim.Proc, vecs []vfs.Vec, write bool) error {
 			continue
 		}
 		if errors.Is(err, rmem.ErrRevoked) {
-			f.replicaLost(p, stripes[i], 0)
+			f.replicaLost(stripes[i], 0)
 			if f.unavailable {
 				return vfs.ErrUnavailable
 			}
@@ -169,10 +169,13 @@ func (f *File) pickReplica(p *sim.Proc, s int) (int, bool, error) {
 	failedOver := false
 	for r := range f.leases[s] {
 		if f.down[s][r] {
+			// Marked lost already (revoke-watch or an earlier access):
+			// serving past it is a failover all the same.
+			failedOver = true
 			continue
 		}
 		if !f.leases[s][r].Valid(p.Now()) {
-			f.replicaLost(p, s, r)
+			f.replicaLost(s, r)
 			if f.unavailable {
 				return -1, false, vfs.ErrUnavailable
 			}
@@ -250,7 +253,7 @@ func (f *File) framedReadV(p *sim.Proc, vecs []vfs.Vec) error {
 			}
 		case errors.Is(elemErr, rmem.ErrRevoked):
 			s, _ := f.blockHome(ft.g)
-			f.replicaLost(p, s, ft.replica)
+			f.replicaLost(s, ft.replica)
 			if f.unavailable {
 				return vfs.ErrUnavailable
 			}
@@ -333,7 +336,7 @@ func (f *File) framedWriteV(p *sim.Proc, vecs []vfs.Vec) error {
 			}
 			l := f.leases[s][r]
 			if !l.Valid(p.Now()) {
-				f.replicaLost(p, s, r)
+				f.replicaLost(s, r)
 				if f.unavailable {
 					return vfs.ErrUnavailable
 				}
@@ -365,7 +368,7 @@ func (f *File) framedWriteV(p *sim.Proc, vecs []vfs.Vec) error {
 			}
 			if errors.Is(err, rmem.ErrRevoked) {
 				s, _ := f.blockHome(iovBW[i].g)
-				f.replicaLost(p, s, iovRep[i])
+				f.replicaLost(s, iovRep[i])
 				if f.unavailable {
 					return vfs.ErrUnavailable
 				}

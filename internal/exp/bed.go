@@ -125,6 +125,17 @@ type BedConfig struct {
 	// Readahead overrides the scan readahead window in pages (0 keeps
 	// the buffer default).
 	Readahead int
+
+	// BrokerShards shards the broker's lease space across this many
+	// replicas (0 or 1 keeps a single shard).
+	BrokerShards int
+	// HeartbeatEvery sets the FS's batched lease-heartbeat cadence
+	// (0 = half the lease TTL).
+	HeartbeatEvery time.Duration
+	// TenantQuotas caps each tenant's leased bytes at the broker.
+	TenantQuotas map[string]int64
+	// Tenant tags the bed FS's lease requests for admission accounting.
+	Tenant string
 }
 
 // DefaultBedConfig mirrors the paper's default hardware (Table 3) with
@@ -151,7 +162,7 @@ type Bed struct {
 	DB      *cluster.Server
 	Mems    []*cluster.Server
 	Store   *metastore.Store
-	Broker  *broker.Broker
+	Broker  *broker.Cluster
 	Proxies []*broker.Proxy
 	FS      *core.FS
 	Eng     *engine.Engine
@@ -195,7 +206,12 @@ func NewBed(p *sim.Proc, cfg BedConfig) (*Bed, error) {
 		if cfg.LeaseTTL > 0 {
 			bcfg.LeaseTTL = cfg.LeaseTTL
 		}
-		b := broker.New(p, store, bcfg)
+		bcfg.Quotas = cfg.TenantQuotas
+		shards := cfg.BrokerShards
+		if shards < 1 {
+			shards = 1
+		}
+		b := broker.NewCluster(p, store, shards, bcfg)
 		bed.Broker = b
 		if cfg.ExpireEvery > 0 {
 			k.Go("broker-expire", func(ep *sim.Proc) { b.ExpireLoop(ep, cfg.ExpireEvery) })
@@ -240,6 +256,8 @@ func NewBed(p *sim.Proc, cfg BedConfig) (*Bed, error) {
 		fsCfg.Integrity = cfg.Integrity
 		fsCfg.Replication = cfg.Replication
 		fsCfg.ScrubEvery = cfg.ScrubEvery
+		fsCfg.HeartbeatEvery = cfg.HeartbeatEvery
+		fsCfg.Tenant = cfg.Tenant
 		if cfg.Retry.MaxAttempts > 0 {
 			fsCfg.Retry = cfg.Retry
 		}

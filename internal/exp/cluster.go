@@ -1,0 +1,345 @@
+// Cluster-scale broker benchmark: hundreds of simulated database
+// servers lease remote memory from a sharded broker, renew through
+// batched per-holder heartbeats, and ride out a diurnal reclamation
+// wave that claws back a quarter of the live leases. Phase A sweeps the
+// holder count to show aggregate random-read throughput scaling until
+// the donor NICs saturate; phase B measures latency inflation and
+// engine-visible errors through the reclamation storm (a revoked
+// stripe is never an error: the holder falls back to its local SSD,
+// exactly as a buffer-pool extension consumer would fall back to base
+// data, while the FS restripes in the background).
+
+package exp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"remotedb/internal/broker"
+	"remotedb/internal/broker/metastore"
+	"remotedb/internal/cluster"
+	"remotedb/internal/core"
+	"remotedb/internal/fault"
+	"remotedb/internal/metrics"
+	"remotedb/internal/rmem"
+	"remotedb/internal/sim"
+	"remotedb/internal/vfs"
+)
+
+// ClusterParams sizes the cluster benchmark.
+type ClusterParams struct {
+	Shards      int   // broker shards
+	Donors      int   // memory servers donating MRs
+	HolderSteps []int // phase A sweep; the last entry is phase B's size
+	MRBytes     int   // memory-region size
+	DonorMRs    int   // MRs pinned per donor
+	FileBytes   int64 // remote file per holder
+
+	LeaseTTL       time.Duration
+	HeartbeatEvery time.Duration
+	ExpireEvery    time.Duration
+	Measure        time.Duration // per phase-A point and per phase-B window
+
+	StormPulses int     // reclamation pulses in the storm window
+	StormFrac   float64 // fraction of live leases shed per pulse
+	Quota       int64   // per-tenant byte quota
+}
+
+// DefaultClusterParams: 160 holders + 48 donors (208 participants) on a
+// 4-shard broker, three tenants with 2:1:1 weights.
+func DefaultClusterParams() ClusterParams {
+	return ClusterParams{
+		Shards:         4,
+		Donors:         48,
+		HolderSteps:    []int{40, 80, 160},
+		MRBytes:        128 << 10,
+		DonorMRs:       40,
+		FileBytes:      512 << 10,
+		LeaseTTL:       120 * time.Millisecond,
+		HeartbeatEvery: 40 * time.Millisecond,
+		ExpireEvery:    60 * time.Millisecond,
+		Measure:        250 * time.Millisecond,
+		StormPulses:    3,
+		StormFrac:      0.10,
+		Quota:          64 << 20,
+	}
+}
+
+// clusterTenants assigns holders round-robin to three tenants whose
+// weights make "oltp" twice as entitled under scarcity.
+var clusterTenants = []string{"oltp", "olap", "batch"}
+
+// ScalePoint is one x-position of the phase A holder sweep.
+type ScalePoint struct {
+	Holders      int
+	Participants int
+	BytesPerSec  float64
+	MeanLat      time.Duration
+}
+
+// ClusterResult is everything the cluster benchmark reports.
+type ClusterResult struct {
+	Shards int
+	Donors int
+	Scale  []ScalePoint
+
+	// Phase B: the reclamation storm at the largest holder count.
+	Holders      int
+	Participants int
+	LiveBefore   int // live leases when the storm hit
+	Shed         int // leases revoked by the wave
+	ShedFrac     float64
+
+	HealthyLat   time.Duration
+	StormLat     time.Duration
+	RecoveredLat time.Duration
+	Inflation    float64 // StormLat / HealthyLat
+	HealthyBPS   float64
+	StormBPS     float64
+
+	Fallbacks int64 // reads served from local SSD during repair
+	Errors    int64 // engine-visible errors (must be zero)
+
+	Heartbeats  int64 // batched renewal rounds across all holders
+	HBBatchMean float64
+	HBBatches   int64
+	Grants      int64
+	Renewals    int64
+	Expirations int64
+	Revocations int64
+	ActivePeak  int64
+	FreeMRs     int64
+
+	Tenants map[string]broker.TenantStats
+}
+
+// clusterHolder is one simulated database server: its remote file, the
+// local SSD file it falls back to while a stripe is being restriped,
+// and the FS whose heartbeat loop renews its whole lease cohort.
+type clusterHolder struct {
+	fs    *core.FS
+	f     *core.File
+	local vfs.File
+}
+
+// buildClusterBed assembles the sharded broker, donors, and holders
+// inside the running simulation.
+func buildClusterBed(p *sim.Proc, prm ClusterParams, holders int) (*broker.Cluster, []*clusterHolder, error) {
+	k := p.Kernel()
+	store := metastore.New(k, 10*time.Microsecond)
+	bcfg := broker.DefaultConfig()
+	bcfg.LeaseTTL = prm.LeaseTTL
+	bcfg.Quotas = map[string]int64{}
+	bcfg.Weights = map[string]float64{"oltp": 2, "olap": 1, "batch": 1}
+	for _, t := range clusterTenants {
+		bcfg.Quotas[t] = prm.Quota
+	}
+	c := broker.NewCluster(p, store, prm.Shards, bcfg)
+	if prm.ExpireEvery > 0 {
+		k.Go("cluster-broker-expire", func(ep *sim.Proc) { c.ExpireLoop(ep, prm.ExpireEvery) })
+	}
+	for i := 0; i < prm.Donors; i++ {
+		m := cluster.NewServer(k, fmt.Sprintf("mem%d", i+1), serverConfig(4))
+		if _, err := c.AddProxy(p, m, prm.MRBytes, prm.DonorMRs); err != nil {
+			return nil, nil, err
+		}
+	}
+	var hs []*clusterHolder
+	for i := 0; i < holders; i++ {
+		db := cluster.NewServer(k, fmt.Sprintf("db%d", i+1), serverConfig(4))
+		client := rmem.NewClient(p, db, rmem.DefaultClientConfig())
+		fsCfg := core.DefaultConfig()
+		fsCfg.Tenant = clusterTenants[i%len(clusterTenants)]
+		fsCfg.HeartbeatEvery = prm.HeartbeatEvery
+		fs := core.NewFS(p, c, client, fsCfg)
+		f, err := fs.Create(p, "work", prm.FileBytes)
+		if err != nil {
+			return nil, nil, fmt.Errorf("holder %d: %w", i, err)
+		}
+		if err := f.OpenConn(p); err != nil {
+			return nil, nil, err
+		}
+		hs = append(hs, &clusterHolder{
+			fs:    fs,
+			f:     f,
+			local: vfs.NewDeviceFile("base", db.SSD),
+		})
+	}
+	return c, hs, nil
+}
+
+// driveHolders runs one closed-loop 8K random reader per holder until
+// end. Reads that fail because a stripe is mid-reclamation fall back to
+// the holder's local SSD (counted, never an error); any other failure
+// is an engine-visible error. Latencies land in the histogram selected
+// by window(now).
+func driveHolders(p *sim.Proc, hs []*clusterHolder, end time.Duration,
+	window func(time.Duration) int, hists []*metrics.Histogram, bytes []int64,
+	fallbacks, errs *int64) []int64 {
+	k := p.Kernel()
+	wg := sim.NewWaitGroup(k)
+	wg.Add(len(hs))
+	span := hs[0].f.Size()
+	for _, h := range hs {
+		h := h
+		k.Go("holder-drive", func(tp *sim.Proc) {
+			defer wg.Done()
+			buf := make([]byte, 8192)
+			for tp.Now() < end {
+				off := tp.Rand().Int63n(span/8192) * 8192
+				t0 := tp.Now()
+				if err := h.f.ReadAt(tp, buf, off); err != nil {
+					if !reclaimable(err) {
+						*errs++
+						continue
+					}
+					// The stripe is being reclaimed or restriped:
+					// serve the page from base data on the local SSD,
+					// like a buffer-pool extension miss.
+					if err := h.local.ReadAt(tp, buf, off); err != nil {
+						*errs++
+						continue
+					}
+					*fallbacks++
+				}
+				w := window(tp.Now())
+				if w >= 0 && w < len(hists) {
+					hists[w].Observe(tp.Now() - t0)
+					bytes[w] += int64(len(buf))
+				}
+			}
+		})
+	}
+	wg.Wait(p)
+	return bytes
+}
+
+// reclaimable reports whether a read error is part of the reclamation
+// protocol (revoked, restriping, transiently retryable) rather than an
+// engine-visible failure.
+func reclaimable(err error) bool {
+	return fault.Retryable(err) ||
+		errors.Is(err, fault.ErrRevoked) ||
+		errors.Is(err, fault.ErrUnavailable)
+}
+
+// RunCluster runs the cluster-scale broker benchmark.
+func RunCluster(seed int64, prm ClusterParams) (*ClusterResult, error) {
+	res := &ClusterResult{Shards: prm.Shards, Donors: prm.Donors}
+
+	// Phase A: holder-count sweep, aggregate random-read throughput.
+	for _, n := range prm.HolderSteps {
+		n := n
+		pt := ScalePoint{Holders: n, Participants: n + prm.Donors}
+		err := RunInSim(seed, time.Hour, func(p *sim.Proc) error {
+			c, hs, err := buildClusterBed(p, prm, n)
+			if err != nil {
+				return err
+			}
+			hist := metrics.NewHistogram()
+			bytes := []int64{0}
+			var fallbacks, errs int64
+			start := p.Now()
+			driveHolders(p, hs, start+prm.Measure,
+				func(time.Duration) int { return 0 },
+				[]*metrics.Histogram{hist}, bytes, &fallbacks, &errs)
+			if errs > 0 {
+				return fmt.Errorf("%d engine-visible errors at %d holders", errs, n)
+			}
+			pt.BytesPerSec = float64(bytes[0]) / prm.Measure.Seconds()
+			pt.MeanLat = hist.Mean()
+			for _, h := range hs {
+				h.fs.CloseAll(p)
+			}
+			c.StopExpireLoop()
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		res.Scale = append(res.Scale, pt)
+	}
+
+	// Phase B: the diurnal reclamation wave at the largest holder count.
+	holders := prm.HolderSteps[len(prm.HolderSteps)-1]
+	res.Holders = holders
+	res.Participants = holders + prm.Donors
+	err := RunInSim(seed, time.Hour, func(p *sim.Proc) error {
+		c, hs, err := buildClusterBed(p, prm, holders)
+		if err != nil {
+			return err
+		}
+		k := p.Kernel()
+		// Three windows: healthy, storm, recovered.
+		t0 := p.Now()
+		t1 := t0 + prm.Measure
+		t2 := t1 + prm.Measure
+		t3 := t2 + prm.Measure
+		window := func(now time.Duration) int {
+			switch {
+			case now < t1:
+				return 0
+			case now < t2:
+				return 1
+			default:
+				return 2
+			}
+		}
+		hists := []*metrics.Histogram{metrics.NewHistogram(), metrics.NewHistogram(), metrics.NewHistogram()}
+		bytes := []int64{0, 0, 0}
+		var fallbacks, errs int64
+
+		// The wave: pulses spread over the storm window, each shedding
+		// StormFrac of the leases live at storm start, oldest-first
+		// round-robin over tenants.
+		k.Go("reclamation-wave", func(sp *sim.Proc) {
+			sp.Sleep(t1 - sp.Now())
+			res.LiveBefore = c.ActiveLeases()
+			per := int(float64(res.LiveBefore) * prm.StormFrac)
+			gap := prm.Measure / time.Duration(prm.StormPulses+1)
+			for i := 0; i < prm.StormPulses; i++ {
+				res.Shed += c.ShedFair(per)
+				sp.Sleep(gap)
+			}
+		})
+
+		driveHolders(p, hs, t3, window, hists, bytes, &fallbacks, &errs)
+
+		res.HealthyLat = hists[0].Mean()
+		res.StormLat = hists[1].Mean()
+		res.RecoveredLat = hists[2].Mean()
+		if res.HealthyLat > 0 {
+			res.Inflation = float64(res.StormLat) / float64(res.HealthyLat)
+		}
+		res.HealthyBPS = float64(bytes[0]) / prm.Measure.Seconds()
+		res.StormBPS = float64(bytes[1]) / prm.Measure.Seconds()
+		res.Fallbacks = fallbacks
+		res.Errors = errs
+		if res.LiveBefore > 0 {
+			res.ShedFrac = float64(res.Shed) / float64(res.LiveBefore)
+		}
+		for _, h := range hs {
+			res.Heartbeats += h.fs.Heartbeats
+		}
+		hb := c.HeartbeatBatch()
+		res.HBBatchMean = hb.Mean()
+		res.HBBatches = hb.N
+		res.Grants = c.Grants()
+		res.Renewals = c.Renewals()
+		res.Expirations = c.Expirations()
+		res.Revocations = c.Revocations()
+		res.ActivePeak = c.ActiveGauge().Peak
+		res.FreeMRs = int64(c.FreeMRs())
+		res.Tenants = c.TenantStats()
+		for _, h := range hs {
+			h.fs.CloseAll(p)
+		}
+		c.StopExpireLoop()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -104,7 +104,7 @@ func TestMemoryPressureReclaimsMidWorkload(t *testing.T) {
 		if err := donor.CommitLocal(need); err != nil {
 			t.Errorf("donor's local demand must win: %v", err)
 		}
-		if bed.Broker.Revocations == 0 {
+		if bed.Broker.Revocations() == 0 {
 			t.Error("pressure should have revoked leases")
 		}
 		after := w.Run(p, 0, window)

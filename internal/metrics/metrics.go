@@ -241,6 +241,70 @@ func (c *Counter) ByteRate(elapsed time.Duration) float64 {
 	return float64(c.Bytes) / elapsed.Seconds()
 }
 
+// Gauge is an instantaneous level (active leases, free MRs). Unlike
+// Counter it goes both ways; it remembers the high-water mark so a
+// one-shot snapshot at the end of an experiment still reflects the peak.
+type Gauge struct {
+	Value int64
+	Peak  int64
+}
+
+// Set replaces the current level.
+func (g *Gauge) Set(v int64) {
+	g.Value = v
+	if v > g.Peak {
+		g.Peak = v
+	}
+}
+
+// Add moves the level by delta.
+func (g *Gauge) Add(delta int64) { g.Set(g.Value + delta) }
+
+// Distribution summarizes a stream of sizes (heartbeat batch widths,
+// grant counts): count, sum, min, max. Cheaper than a Histogram and
+// sufficient for gauging how well batching amortizes round trips.
+type Distribution struct {
+	N   int64
+	Sum int64
+	Min int64
+	Max int64
+}
+
+// Observe records one size.
+func (d *Distribution) Observe(v int64) {
+	if d.N == 0 || v < d.Min {
+		d.Min = v
+	}
+	if v > d.Max {
+		d.Max = v
+	}
+	d.N++
+	d.Sum += v
+}
+
+// Mean returns the average observed size.
+func (d *Distribution) Mean() float64 {
+	if d.N == 0 {
+		return 0
+	}
+	return float64(d.Sum) / float64(d.N)
+}
+
+// Merge folds other into d.
+func (d *Distribution) Merge(other Distribution) {
+	if other.N == 0 {
+		return
+	}
+	if d.N == 0 || other.Min < d.Min {
+		d.Min = other.Min
+	}
+	if other.Max > d.Max {
+		d.Max = other.Max
+	}
+	d.N += other.N
+	d.Sum += other.Sum
+}
+
 // Point is one sample in a time series.
 type Point struct {
 	At    time.Duration

@@ -100,6 +100,10 @@ type settings struct {
 	eviction     *EvictionPolicy
 	batchedIO    *bool
 	readahead    int
+	brokerShards int
+	hbEvery      time.Duration
+	tenant       string
+	quotas       map[string]int64
 }
 
 // Option parameterizes the Start*/Mount*/NewTestBed constructors.
@@ -243,22 +247,64 @@ func WithBatchedIO(on bool) Option { return func(s *settings) { s.batchedIO = &o
 // NewTestBed.
 func WithReadahead(pages int) Option { return func(s *settings) { s.readahead = pages } }
 
-// StartBroker creates a memory broker backed by store, configured by
-// options (WithLeaseTTL).
-func StartBroker(p *Proc, store *MetaStore, opts ...Option) *Broker {
+// WithBrokerShards shards the broker's lease space across n replicas:
+// lease IDs are strided so any lease routes back to its shard, donors
+// and holders spread over shards by rendezvous hashing, and a failed
+// shard hands its state to a recovered replacement without disturbing
+// the others. 0 or 1 keeps a single shard. Consumed by StartBroker and
+// NewTestBed.
+func WithBrokerShards(n int) Option { return func(s *settings) { s.brokerShards = n } }
+
+// WithHeartbeatEvery sets the batched lease-heartbeat cadence: one
+// renewal round trip per holder per tick covers every lease the holder
+// owns (0 = half the lease TTL). Consumed by MountRemoteFS and
+// NewTestBed.
+func WithHeartbeatEvery(d time.Duration) Option { return func(s *settings) { s.hbEvery = d } }
+
+// WithTenant tags the mounted file system's lease requests with a
+// tenant name for broker admission accounting (defaults to the holder's
+// server name). Consumed by MountRemoteFS.
+func WithTenant(name string) Option { return func(s *settings) { s.tenant = name } }
+
+// WithTenantQuota caps the named tenant's leased bytes at the broker; a
+// request past the cap fails with ErrQuota (non-retryable) rather than
+// eating the pool. Repeat for each tenant. Consumed by StartBroker and
+// NewTestBed.
+func WithTenantQuota(name string, bytes int64) Option {
+	return func(s *settings) {
+		if s.quotas == nil {
+			s.quotas = make(map[string]int64)
+		}
+		s.quotas[name] = bytes
+	}
+}
+
+// StartBroker creates a cluster-scale memory broker backed by store,
+// configured by options (WithLeaseTTL, WithBrokerShards,
+// WithTenantQuota). With one shard (the default) it behaves exactly
+// like the classic single broker; more shards spread the lease space
+// over independent replicas.
+func StartBroker(p *Proc, store *MetaStore, opts ...Option) *BrokerCluster {
 	s := apply(opts)
 	cfg := broker.DefaultConfig()
 	if s.leaseTTL > 0 {
 		cfg.LeaseTTL = s.leaseTTL
 	}
-	return broker.New(p, store, cfg)
+	cfg.Quotas = s.quotas
+	n := s.brokerShards
+	if n <= 0 {
+		n = 1
+	}
+	return broker.NewCluster(p, store, n, cfg)
 }
 
 // MountRemoteFS creates the remote file system client on the database
 // server owning client, configured by options (WithProtocol,
 // WithPlacement, WithAutoRenew, WithRecovery, WithRetryPolicy,
-// WithSalvage, WithReplication, WithIntegrity, WithScrubEvery).
-func MountRemoteFS(p *Proc, b *Broker, client *RemoteClient, opts ...Option) *RemoteFS {
+// WithSalvage, WithReplication, WithIntegrity, WithScrubEvery,
+// WithTenant, WithHeartbeatEvery). b is any LeaseService — a
+// single-shard *Broker or the sharded *BrokerCluster from StartBroker.
+func MountRemoteFS(p *Proc, b LeaseService, client *RemoteClient, opts ...Option) *RemoteFS {
 	s := apply(opts)
 	cfg := core.DefaultConfig()
 	if s.replication > 0 {
@@ -287,6 +333,12 @@ func MountRemoteFS(p *Proc, b *Broker, client *RemoteClient, opts ...Option) *Re
 	}
 	if s.salvage != nil {
 		cfg.Salvage = s.salvage
+	}
+	if s.tenant != "" {
+		cfg.Tenant = s.tenant
+	}
+	if s.hbEvery > 0 {
+		cfg.HeartbeatEvery = s.hbEvery
 	}
 	return core.NewFS(p, b, client, cfg)
 }
@@ -334,7 +386,8 @@ func StartEngine(p *Proc, server *Server, files EngineFiles, opts ...Option) (*E
 // configured by options (WithStripeSize, WithLeaseTTL, WithExpirySweep,
 // WithRetryPolicy, WithRecovery, WithRemoteServers, WithBufferFrames,
 // WithBPExtBytes, WithReplication, WithIntegrity, WithScrubEvery,
-// WithEviction, WithBatchedIO, WithReadahead).
+// WithEviction, WithBatchedIO, WithReadahead, WithBrokerShards,
+// WithHeartbeatEvery, WithTenantQuota).
 func NewTestBed(p *Proc, d Design, opts ...Option) (*Bed, error) {
 	s := apply(opts)
 	cfg := exp.DefaultBedConfig(d)
@@ -379,6 +432,15 @@ func NewTestBed(p *Proc, d Design, opts ...Option) (*Bed, error) {
 	}
 	if s.readahead > 0 {
 		cfg.Readahead = s.readahead
+	}
+	if s.brokerShards > 0 {
+		cfg.BrokerShards = s.brokerShards
+	}
+	if s.hbEvery > 0 {
+		cfg.HeartbeatEvery = s.hbEvery
+	}
+	if s.quotas != nil {
+		cfg.TenantQuotas = s.quotas
 	}
 	return exp.NewBed(p, cfg)
 }

@@ -77,8 +77,18 @@ func DefaultServerConfig() ServerConfig { return cluster.DefaultConfig() }
 
 // Memory brokering.
 type (
-	// Broker grants leases on remote memory regions.
+	// LeaseService is the brokering seam: everything a lease consumer
+	// needs (request, renew, batched renew, release, revoke watches),
+	// satisfied by both Broker and BrokerCluster.
+	LeaseService = broker.LeaseService
+	// RequestSpec describes one lease request (holder, count,
+	// placement, avoid set, tenant, priority).
+	RequestSpec = broker.RequestSpec
+	// Broker grants leases on remote memory regions (one shard).
 	Broker = broker.Broker
+	// BrokerCluster shards the lease space across broker replicas and
+	// routes requests by rendezvous hashing; StartBroker returns one.
+	BrokerCluster = broker.Cluster
 	// BrokerConfig parameterizes the broker.
 	BrokerConfig = broker.Config
 	// Lease is exclusive access to one memory region.
@@ -148,7 +158,7 @@ type (
 // Deprecated: use MountRemoteFS with functional options (WithProtocol,
 // WithRetryPolicy, WithSalvage, ...); this bare-Config constructor is
 // kept for compatibility.
-func NewRemoteFS(p *Proc, b *Broker, client *RemoteClient, cfg RemoteFSConfig) *RemoteFS {
+func NewRemoteFS(p *Proc, b LeaseService, client *RemoteClient, cfg RemoteFSConfig) *RemoteFS {
 	return core.NewFS(p, b, client, cfg)
 }
 
