@@ -1,5 +1,5 @@
-// Command benchdiff compares two BENCH_<experiment>.json files produced
-// by rmbench -json and exits non-zero if any metric regressed (or
+// Command benchdiff compares BENCH_<experiment>.json files produced by
+// rmbench -json and exits non-zero if any metric regressed (or
 // improved) by more than the tolerance. Wall-clock time is ignored: the
 // experiments run on a deterministic simulator, so metric values are
 // exactly reproducible and any drift beyond float noise is a real
@@ -8,6 +8,15 @@
 // Usage:
 //
 //	benchdiff [-tol 0.10] baseline.json current.json
+//	benchdiff [-tol 0.10] [-require a,b,c] baselineDir currentDir
+//
+// In directory mode every baseline BENCH_*.json is visited in sorted
+// order and compared against the same-named file in currentDir; a
+// missing current file fails that experiment. -require names the
+// experiments the gate must cover (comma-separated, without the BENCH_
+// prefix): a required baseline that does not exist fails the run
+// loudly, so deleting a committed baseline cannot silently shrink the
+// regression gate.
 package main
 
 import (
@@ -16,10 +25,15 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 )
 
-var tol = flag.Float64("tol", 0.10, "maximum allowed relative change per metric")
+var (
+	tol     = flag.Float64("tol", 0.10, "maximum allowed relative change per metric")
+	require = flag.String("require", "", "comma-separated experiment names that must have a baseline (directory mode)")
+)
 
 type benchFile struct {
 	Experiment string             `json:"experiment"`
@@ -40,25 +54,22 @@ func load(path string) (*benchFile, error) {
 	return &f, nil
 }
 
-func main() {
-	flag.Parse()
-	if flag.NArg() != 2 {
-		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol F] baseline.json current.json")
-		os.Exit(2)
-	}
-	base, err := load(flag.Arg(0))
+// compare diffs one baseline file against one current file and returns
+// the number of metrics that moved beyond the tolerance.
+func compare(basePath, curPath string) int {
+	base, err := load(basePath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(1)
+		return 1
 	}
-	cur, err := load(flag.Arg(1))
+	cur, err := load(curPath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchdiff:", err)
-		os.Exit(1)
+		return 1
 	}
 	if base.Experiment != cur.Experiment {
 		fmt.Fprintf(os.Stderr, "benchdiff: comparing %q against %q\n", cur.Experiment, base.Experiment)
-		os.Exit(1)
+		return 1
 	}
 	var names []string
 	for name := range base.Metrics {
@@ -101,8 +112,73 @@ func main() {
 	if failed > 0 {
 		fmt.Printf("benchdiff: %d metric(s) moved more than %.0f%% in %s\n",
 			failed, *tol*100, cur.Experiment)
+	} else {
+		fmt.Printf("benchdiff: %s within %.0f%% of baseline (%d metrics)\n",
+			cur.Experiment, *tol*100, len(names))
+	}
+	return failed
+}
+
+// compareDirs walks every baseline BENCH_*.json in sorted order and
+// diffs it against the same-named file in curDir. Required experiments
+// without a baseline fail loudly instead of being skipped.
+func compareDirs(baseDir, curDir string) int {
+	paths, err := filepath.Glob(filepath.Join(baseDir, "BENCH_*.json"))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		return 1
+	}
+	sort.Strings(paths)
+	have := make(map[string]bool, len(paths))
+	failed := 0
+	for _, basePath := range paths {
+		name := strings.TrimSuffix(strings.TrimPrefix(filepath.Base(basePath), "BENCH_"), ".json")
+		have[name] = true
+		curPath := filepath.Join(curDir, filepath.Base(basePath))
+		if _, err := os.Stat(curPath); err != nil {
+			fmt.Printf("FAIL %s: no current run (%v)\n", name, err)
+			failed++
+			continue
+		}
+		failed += compare(basePath, curPath)
+	}
+	if *require != "" {
+		for _, name := range strings.Split(*require, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" || have[name] {
+				continue
+			}
+			fmt.Printf("FAIL %s: required baseline %s is missing from %s\n",
+				name, "BENCH_"+name+".json", baseDir)
+			failed++
+		}
+	}
+	if len(paths) == 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: no BENCH_*.json baselines under %s\n", baseDir)
+		failed++
+	}
+	return failed
+}
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol F] baseline.json current.json")
+		fmt.Fprintln(os.Stderr, "       benchdiff [-tol F] [-require a,b,c] baselineDir currentDir")
+		os.Exit(2)
+	}
+	baseInfo, err := os.Stat(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("benchdiff: %s within %.0f%% of baseline (%d metrics)\n",
-		cur.Experiment, *tol*100, len(names))
+	var failed int
+	if baseInfo.IsDir() {
+		failed = compareDirs(flag.Arg(0), flag.Arg(1))
+	} else {
+		failed = compare(flag.Arg(0), flag.Arg(1))
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
 }

@@ -37,6 +37,9 @@
 //	iobatch    vectored I/O: batched vs per-page transfers, burst
 //	           priming, eviction storm with batched I/O off vs on
 //	evict      eviction policy A/B: clock sweep vs cost-aware GDSF
+//	pushdown   donor-side operator pushdown vs fetch-all across
+//	           selectivities, the optimizer's placement choice, and a
+//	           pushed scan through a corruption + revocation storm
 //	cluster    cluster-scale broker: 200+ DB servers and donors on a
 //	           sharded broker with batched heartbeats, through a
 //	           diurnal reclamation wave
@@ -93,7 +96,7 @@ func run(name string) error {
 			"fig12", "fig13", "fig14", "fig15a", "fig15b", "fig16",
 			"fig18", "fig20", "fig22", "fig24", "fig25", "fig26",
 			"fig27", "ablation", "faults", "scrub", "plancache", "parscan",
-			"iobatch", "evict", "cluster",
+			"iobatch", "evict", "pushdown", "cluster",
 		} {
 			fmt.Printf("\n===== %s =====\n", n)
 			if err := run(n); err != nil {
@@ -169,6 +172,8 @@ func dispatch(name string) error {
 		return iobatch()
 	case "evict":
 		return evict()
+	case "pushdown":
+		return pushdown()
 	case "cluster":
 		return clusterBench()
 	}
@@ -224,6 +229,8 @@ func evict() error {
 	}
 	fmt.Printf("  %s\n  %s\n", res.Clock, res.GDSF)
 	fmt.Printf("  GDSF: %+.1f hit points, %.2fx stall speedup\n", res.HitDelta, res.Speedup)
+	fmt.Printf("  readahead under short bursts:\n    %s\n    %s\n", res.FixedRA, res.AdaptiveRA)
+	fmt.Printf("  adaptive window: %+.1f waste points\n", -res.WasteDrop)
 	metric("clock_hit_rate", res.Clock.HitRate)
 	metric("gdsf_hit_rate", res.GDSF.HitRate)
 	metric("clock_disk_reads", float64(res.Clock.DiskReads))
@@ -234,6 +241,16 @@ func evict() error {
 	metric("gdsf_writeback_bytes", float64(res.GDSF.WriteBackBytes))
 	metric("hit_delta_points", res.HitDelta)
 	metric("speedup", res.Speedup)
+	metric("fixed_ra_waste_ratio", res.FixedRA.WasteRatio)
+	metric("adaptive_ra_waste_ratio", res.AdaptiveRA.WasteRatio)
+	metric("ra_waste_drop_points", res.WasteDrop)
+	if res.AdaptiveRA.WasteRatio >= res.FixedRA.WasteRatio {
+		return fmt.Errorf("adaptive readahead wasted %.1f%% of prefetches vs %.1f%% fixed; the window did not shrink",
+			res.AdaptiveRA.WasteRatio*100, res.FixedRA.WasteRatio*100)
+	}
+	if res.AdaptiveRA.Hits == 0 {
+		return fmt.Errorf("adaptive readahead never produced a prefetch hit; the window collapsed")
+	}
 	return nil
 }
 

@@ -131,6 +131,12 @@ type FS struct {
 	ScrubChecked   metrics.Counter // blocks verified clean by scrubbers
 	ReplicaRepairs int64           // replicas re-leased and rebuilt from a peer (no salvage)
 	ScrubSweeps    int64           // stripe sweeps completed by scrubbers
+
+	// Pushdown counters (see pushdown.go): pushed range reads issued and
+	// the elements that fell back to fetch-and-evaluate-client-side after
+	// a donor-side integrity failure or mid-flight revocation.
+	PushReads     int64
+	PushFallbacks int64
 }
 
 // Config parameterizes an FS.

@@ -91,7 +91,11 @@ func (it *Iterator) Next(p *sim.Proc) (Pair, bool, error) {
 		// then slow-starts: the window is capped at the number of leaves
 		// already visited, so a scan earns its prefetch depth by proving
 		// it keeps going (a 4-leaf range query prefetches 2, a long scan
-		// ramps to the full window within a couple of re-arms).
+		// ramps to the full window within a couple of re-arms). The
+		// offered window itself is adaptive: the pool ramps and shrinks
+		// ReadaheadPages from the observed prefetch hit/waste ratio, so
+		// workloads whose scans keep stopping short get a shallower
+		// ceiling than this iterator's own slow-start would pick.
 		if ra := it.t.bp.ReadaheadPages(); ra > 0 && it.leaves >= 2 && it.nextPg >= it.raNext {
 			win := it.leaves
 			if win > ra {

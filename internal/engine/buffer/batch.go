@@ -181,12 +181,49 @@ func (bp *Pool) flushExtBatch(p *sim.Proc, batch []extPut) {
 }
 
 // ReadaheadPages returns the scan readahead window in pages, or 0 when
-// readahead is disabled (no batched I/O or a zero window).
+// readahead is disabled (no batched I/O or a zero window). With
+// AdaptiveReadahead this is the current feedback-adapted window, so
+// scans that clamp to it automatically ramp and shrink with it.
 func (bp *Pool) ReadaheadPages() int {
 	if !bp.cfg.BatchedIO || bp.cfg.Readahead <= 0 {
 		return 0
 	}
+	if bp.cfg.AdaptiveReadahead {
+		return bp.raWin
+	}
 	return bp.cfg.Readahead
+}
+
+// adaptReadahead resizes the window from the prefetch hit/waste tally:
+// once enough prefetched pages have settled (demanded, or evicted
+// unused) since the last adjustment, a waste share of a sixth or more
+// halves the window and a share of a twelfth or less doubles it,
+// bounded by [1, cfg.Readahead]. Waste is observed at eviction, so the
+// signal lags by roughly one pool churn — the reason adjustments demand
+// two windows' worth of evidence rather than reacting per prefetch.
+func (bp *Pool) adaptReadahead() {
+	if !bp.cfg.AdaptiveReadahead {
+		return
+	}
+	hit := bp.Stats.ReadAheadHits - bp.raBaseHit
+	waste := bp.Stats.ReadAheadWasted - bp.raBaseWaste
+	settled := hit + waste
+	if settled < int64(2*bp.raWin) {
+		return
+	}
+	bp.raBaseHit, bp.raBaseWaste = bp.Stats.ReadAheadHits, bp.Stats.ReadAheadWasted
+	switch {
+	case waste*6 >= settled:
+		bp.raWin /= 2
+		if bp.raWin < 1 {
+			bp.raWin = 1
+		}
+	case waste*12 <= settled:
+		bp.raWin *= 2
+		if bp.raWin > bp.cfg.Readahead {
+			bp.raWin = bp.cfg.Readahead
+		}
+	}
 }
 
 // ReadAheadWindow prefetches the readahead window starting at page
@@ -195,6 +232,7 @@ func (bp *Pool) ReadaheadPages() int {
 // installed. Callers that ramp their window (slow-start scans) pass the
 // ramped size as maxPages.
 func (bp *Pool) ReadAheadWindow(p *sim.Proc, start uint64, maxPages int) int {
+	bp.adaptReadahead()
 	want := bp.ReadaheadPages()
 	if maxPages > 0 && want > maxPages {
 		want = maxPages
@@ -294,6 +332,7 @@ func (bp *Pool) ReadAhead(p *sim.Proc, pageNos []uint64) int {
 			f.dirty = false
 			f.ver++
 			f.ref = true
+			f.prefetched = true
 			copy(f.buf, pu.img)
 			bp.table[no] = idx
 			bp.noteInstall(idx)
@@ -350,6 +389,7 @@ func (bp *Pool) ReadAhead(p *sim.Proc, pageNos []uint64) int {
 		} else {
 			f.pins = 0
 			f.ref = true
+			f.prefetched = true
 			bp.table[pe.no] = pe.idx
 			bp.noteInstall(pe.idx)
 			installed++

@@ -52,18 +52,25 @@ type Config struct {
 	// Readahead is the sequential readahead window in pages that range
 	// scans prefetch ahead of the cursor (0 disables readahead).
 	Readahead int
+	// AdaptiveReadahead ramps and shrinks the window from the observed
+	// prefetch hit/waste ratio instead of always offering the full
+	// Readahead: the window starts small, doubles while prefetched pages
+	// keep getting demanded, and halves when they keep getting evicted
+	// unused. Readahead is then the ceiling, not the constant.
+	AdaptiveReadahead bool
 }
 
 // DefaultConfig returns a small pool with a 10 ms lazy writer, GDSF
 // eviction, and batched I/O with an 8-page readahead window.
 func DefaultConfig(frames int) Config {
 	return Config{
-		Frames:        frames,
-		PageAccessCPU: time.Microsecond,
-		WriterPeriod:  10 * time.Millisecond,
-		WriterBatch:   128,
-		BatchedIO:     true,
-		Readahead:     8,
+		Frames:            frames,
+		PageAccessCPU:     time.Microsecond,
+		WriterPeriod:      10 * time.Millisecond,
+		WriterBatch:       128,
+		BatchedIO:         true,
+		Readahead:         8,
+		AdaptiveReadahead: true,
 	}
 }
 
@@ -78,6 +85,12 @@ type frame struct {
 	pins   int
 	ref    bool   // clock reference bit
 	ver    uint64 // bumped on MarkDirty; detects writes racing with I/O
+
+	// prefetched marks a frame installed by ReadAhead and not yet
+	// demanded: cleared (and counted a hit) by the first Get, counted
+	// wasted if the frame is evicted still carrying it. The hit/waste
+	// tally drives the adaptive window.
+	prefetched bool
 
 	// GDSF bookkeeping. The hit path is two field writes (saturating
 	// freq bump, re-anchor baseL at the current inflation value);
@@ -102,6 +115,8 @@ type Stats struct {
 	WriterBytes     int64 // bytes written back by the lazy writer
 	ExtWriteBytes   int64 // bytes stashed into the extension
 	ReadAheadPages  int64 // pages prefetched by ReadAhead
+	ReadAheadHits   int64 // prefetched pages later demanded while resident
+	ReadAheadWasted int64 // prefetched pages evicted without ever being demanded
 }
 
 // Pool is the buffer pool.
@@ -137,6 +152,12 @@ type Pool struct {
 	gL         float64
 	free       []int
 	evictEpoch uint64
+
+	// Adaptive-readahead state: the current window and the hit/waste
+	// counter baselines of the last adjustment.
+	raWin       int
+	raBaseHit   int64
+	raBaseWaste int64
 
 	nextPageNo uint64
 	writerStop bool
@@ -180,6 +201,10 @@ func New(p *sim.Proc, server *cluster.Server, data vfs.File, cfg Config) (*Pool,
 	}
 	if bp.cfg.CostExt <= 0 {
 		bp.cfg.CostExt = opt.DefaultCosts()[opt.TierRemote].RandomPage
+	}
+	bp.raWin = bp.cfg.Readahead
+	if bp.cfg.AdaptiveReadahead && bp.raWin > 2 {
+		bp.raWin = 2 // earn the full window by proving prefetches get used
 	}
 	for i := range bp.frames {
 		bp.frames[i].buf = make([]byte, page.Size)
@@ -271,6 +296,7 @@ func (bp *Pool) Allocate(p *sim.Proc, t page.Type) (*Handle, uint64, error) {
 	f.dirty = true
 	f.pins = 1
 	f.ref = true
+	f.prefetched = false
 	bp.table[no] = idx
 	bp.noteInstall(idx)
 	pg := page.Wrap(f.buf)
@@ -289,6 +315,10 @@ func (bp *Pool) Get(p *sim.Proc, pageNo uint64) (*Handle, error) {
 			f := &bp.frames[idx]
 			f.pins++
 			f.ref = true
+			if f.prefetched {
+				f.prefetched = false
+				bp.Stats.ReadAheadHits++
+			}
 			bp.noteHit(idx)
 			bp.Stats.Hits++
 			return &Handle{bp: bp, idx: idx}, nil
@@ -320,6 +350,7 @@ func (bp *Pool) Get(p *sim.Proc, pageNo uint64) (*Handle, error) {
 	f.pageNo = pageNo
 	f.dirty = false
 	f.ver++
+	f.prefetched = false
 	// Fault the image in: extension first, then the data file.
 	fromExt := false
 	if bp.ExtensionHealthy() {
@@ -485,6 +516,10 @@ func (bp *Pool) evict(p *sim.Proc, idx int) (bool, error) {
 		// Re-pinned (or re-dirtied) while we slept in I/O: keep it.
 		return false, nil
 	}
+	if f.prefetched {
+		f.prefetched = false
+		bp.Stats.ReadAheadWasted++
+	}
 	delete(bp.table, f.pageNo)
 	f.valid = false
 	bp.evictEpoch++
@@ -604,6 +639,7 @@ func (bp *Pool) PrimeInstall(p *sim.Proc, pageNo uint64, img []byte) error {
 	f.dirty = false
 	f.pins = 0
 	f.ref = true
+	f.prefetched = false
 	bp.table[pageNo] = idx
 	bp.noteInstall(idx)
 	return nil

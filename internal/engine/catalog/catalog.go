@@ -14,6 +14,7 @@ import (
 	"remotedb/internal/engine/btree"
 	"remotedb/internal/engine/buffer"
 	"remotedb/internal/engine/row"
+	"remotedb/internal/rmem"
 	"remotedb/internal/sim"
 )
 
@@ -39,13 +40,73 @@ func New(bp *buffer.Pool) *Catalog {
 // Pool returns the catalog's buffer pool.
 func (c *Catalog) Pool() *buffer.Pool { return c.bp }
 
-// Table is a clustered table with optional secondary indexes.
+// Table is a clustered table with optional secondary indexes and,
+// when pushdown is enabled, a remote pushable segment mirroring the
+// rows (see PushSegment).
 type Table struct {
 	Name      string
 	Schema    *row.Schema
 	PK        []string
 	Clustered *btree.Tree
 	Secondary map[string]*Index
+	Push      *PushSegment // nil unless a pushable mirror was built
+}
+
+// PushFile is the surface a pushable segment's backing file must offer:
+// donor-side evaluated range reads plus a plain fetch path for the
+// fetch-all placement. core.File implements it.
+type PushFile interface {
+	PushRead(p *sim.Proc, off, n int64, q *rmem.PushQuery) ([]byte, rmem.PushStats, error)
+	ReadAt(p *sim.Proc, b []byte, off int64) error
+	PushChunk() int
+}
+
+// PushSegment is a table's remote pushable mirror: the rows as a
+// chunk-aligned, length-prefixed record log in PK order. Records never
+// cross a Chunk boundary, so any chunk-aligned byte range evaluates in
+// isolation — per-partition pushdown falls out of splitting [0, Bytes)
+// at chunk boundaries.
+type PushSegment struct {
+	File  PushFile
+	Rows  int64
+	Bytes int64 // log bytes (including chunk padding)
+	Chunk int
+}
+
+// SetPushSegment installs (or clears) the table's pushable mirror.
+func (t *Table) SetPushSegment(seg *PushSegment) { t.Push = seg }
+
+// Partition splits the segment into dop chunk-aligned byte ranges of
+// near-equal size; fewer ranges return when the segment is small.
+func (seg *PushSegment) Partition(dop int) [][2]int64 {
+	if dop < 1 {
+		dop = 1
+	}
+	if seg.Chunk <= 0 {
+		// Unchunked log: records may cross any byte boundary, so the
+		// only safe range is the whole segment.
+		if seg.Bytes == 0 {
+			return nil
+		}
+		return [][2]int64{{0, seg.Bytes}}
+	}
+	chunks := seg.Bytes / int64(seg.Chunk)
+	if chunks < int64(dop) {
+		dop = int(chunks)
+		if dop < 1 {
+			dop = 1
+		}
+	}
+	per := (chunks + int64(dop) - 1) / int64(dop)
+	var out [][2]int64
+	for off := int64(0); off < seg.Bytes; off += per * int64(seg.Chunk) {
+		end := off + per*int64(seg.Chunk)
+		if end > seg.Bytes {
+			end = seg.Bytes
+		}
+		out = append(out, [2]int64{off, end})
+	}
+	return out
 }
 
 // Index is a secondary index: key = indexed columns + PK (for uniqueness),

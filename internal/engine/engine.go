@@ -16,6 +16,7 @@ import (
 	"remotedb/internal/engine/semcache"
 	"remotedb/internal/engine/tempdb"
 	"remotedb/internal/engine/txn"
+	"remotedb/internal/rmem"
 	"remotedb/internal/sim"
 	"remotedb/internal/vfs"
 )
@@ -56,6 +57,13 @@ type Config struct {
 	// Readahead overrides the scan readahead window in pages (0 keeps
 	// the buffer default).
 	Readahead int
+	// Pushdown lets the planner place pushable scans at the donors
+	// holding a table's remote segment (see BuildPushSegment) and lets
+	// spilled hash joins probe remote hash tables.
+	Pushdown bool
+	// DonorPrice scales donor CPU in the placement cost model
+	// (0 = donor cores priced like local ones).
+	DonorPrice float64
 }
 
 // DefaultConfig sizes the pool to frames pages with standard costs.
@@ -120,8 +128,51 @@ func New(p *sim.Proc, server *cluster.Server, files Files, cfg Config) (*Engine,
 		e.DOP = 4 // SQL Server runs analytic plans parallel by default
 	}
 	e.Planner = plan.NewPlanner(e.Cost, cfg.PlanCacheEntries)
+	e.Planner.Pushdown = cfg.Pushdown
+	e.Planner.DonorPrice = cfg.DonorPrice
 	e.Cache = semcache.New(cfg.SemCache, e.Log)
 	return e, nil
+}
+
+// PushStore is the storage a pushable segment is built on: a pushable
+// file that also accepts writes. core.File satisfies it.
+type PushStore interface {
+	catalog.PushFile
+	WriteAt(p *sim.Proc, b []byte, off int64) error
+}
+
+// BuildPushSegment mirrors t's rows into f as a chunk-aligned,
+// length-prefixed record log in PK order and installs it as the
+// table's pushable segment, enabling donor-side scan placement for the
+// table. Call it after loading (the mirror is a static analytic copy;
+// writes to the table do not maintain it).
+func (e *Engine) BuildPushSegment(p *sim.Proc, t *catalog.Table, f PushStore) error {
+	chunk := f.PushChunk()
+	it, err := t.Clustered.Scan(p, nil)
+	if err != nil {
+		return err
+	}
+	var seg []byte
+	var rows int64
+	for {
+		pair, ok, err := it.Next(p)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		seg = rmem.AppendPushRecord(seg, pair.Val, chunk)
+		rows++
+	}
+	seg = rmem.PadPushChunk(seg, chunk)
+	if len(seg) > 0 {
+		if err := f.WriteAt(p, seg, 0); err != nil {
+			return err
+		}
+	}
+	t.SetPushSegment(&catalog.PushSegment{File: f, Rows: rows, Bytes: int64(len(seg)), Chunk: chunk})
+	return nil
 }
 
 // NewCtx returns a fresh execution context for one query.

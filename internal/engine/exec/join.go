@@ -16,11 +16,19 @@ type HashJoin struct {
 	Build, Probe         Op
 	BuildCols, ProbeCols []string
 	Partitions           int // grace fan-out (default 8)
+	// RemoteProbe changes the spill strategy: instead of partitioning
+	// both sides to TempDB and rejoining partition by partition, the
+	// build side spills into a bucketed remote hash table
+	// (tempdb.HashTable) and the probe side streams through untouched,
+	// probing buckets with one-sided reads — the probe side never
+	// spills, and build memory stays at one block per bucket.
+	RemoteProbe bool
 
 	schema  *row.Schema
 	outBuf  []row.Tuple
 	outPos  int
 	ht      map[string][]row.Tuple
+	rtab    *tempdb.HashTable
 	probing bool
 
 	// spill state
@@ -77,6 +85,7 @@ func (j *HashJoin) Open(c *Ctx) error {
 	j.probing, j.spilled = false, false
 	j.curPart, j.partReader = 0, nil
 	j.buildFiles, j.probeFiles = nil, nil
+	j.rtab = nil
 	j.buildSchema = j.Build.Schema()
 	j.probeSchema = j.Probe.Schema()
 	j.buildOrds = nil
@@ -95,6 +104,9 @@ func (j *HashJoin) Open(c *Ctx) error {
 		img, err := row.Encode(nil, j.buildSchema, t)
 		if err != nil {
 			return err
+		}
+		if j.rtab != nil {
+			return j.rtab.Put(c.P, partOf(keyOf(t, j.buildOrds), j.rtab.Buckets()), img)
 		}
 		return j.buildFiles[partOf(keyOf(t, j.buildOrds), j.Partitions)].Append(c.P, img)
 	}
@@ -119,14 +131,19 @@ func (j *HashJoin) Open(c *Ctx) error {
 				j.ht[k] = append(j.ht[k], t)
 				continue
 			}
-			// Cut over to the grace path.
+			// Cut over to the grace path (or, with RemoteProbe, to the
+			// remote hash table).
 			j.spilled = true
 			c.SpilledParts++
-			j.buildFiles = make([]*tempdb.SpillFile, j.Partitions)
-			j.probeFiles = make([]*tempdb.SpillFile, j.Partitions)
-			for i := range j.buildFiles {
-				j.buildFiles[i] = c.Temp.NewFile(fmt.Sprintf("hj-build-%d", i))
-				j.probeFiles[i] = c.Temp.NewFile(fmt.Sprintf("hj-probe-%d", i))
+			if j.RemoteProbe {
+				j.rtab = c.Temp.NewHashTable("hj-remote", 0, 0)
+			} else {
+				j.buildFiles = make([]*tempdb.SpillFile, j.Partitions)
+				j.probeFiles = make([]*tempdb.SpillFile, j.Partitions)
+				for i := range j.buildFiles {
+					j.buildFiles[i] = c.Temp.NewFile(fmt.Sprintf("hj-build-%d", i))
+					j.probeFiles[i] = c.Temp.NewFile(fmt.Sprintf("hj-probe-%d", i))
+				}
 			}
 			for _, rows := range j.ht {
 				for _, bt := range rows {
@@ -146,6 +163,15 @@ func (j *HashJoin) Open(c *Ctx) error {
 	}
 
 	if !j.spilled {
+		j.probing = true
+		return j.Probe.Open(c)
+	}
+	if j.rtab != nil {
+		// Remote probing: the probe side streams straight through and
+		// never touches TempDB.
+		if err := j.rtab.Flush(c.P); err != nil {
+			return err
+		}
 		j.probing = true
 		return j.Probe.Open(c)
 	}
@@ -223,6 +249,35 @@ func (j *HashJoin) Next(c *Ctx) (row.Tuple, bool, error) {
 			continue
 		}
 
+		if j.rtab != nil {
+			// Remote: one bucket-chain read per probe row; the bucket
+			// bounds the candidates, the exact key filters them.
+			t, ok, err := j.Probe.Next(c)
+			if err != nil {
+				return nil, false, err
+			}
+			if !ok {
+				return nil, false, nil
+			}
+			key := keyOf(t, j.probeOrds)
+			c.chargeCPU(c.CPU.PerHash)
+			err = j.rtab.Probe(c.P, partOf(key, j.rtab.Buckets()), func(img []byte) error {
+				bt, err := row.Decode(j.buildSchema, img)
+				if err != nil {
+					return err
+				}
+				c.chargeCPU(c.CPU.PerRow)
+				if keyOf(bt, j.buildOrds) == key {
+					j.outBuf = append(j.outBuf, concat(bt, t))
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, false, err
+			}
+			continue
+		}
+
 		// Grace: stream the current partition's probe file.
 		if j.partReader != nil {
 			img, ok, err := j.partReader.Next(c.P)
@@ -287,6 +342,11 @@ func (j *HashJoin) Close(c *Ctx) error {
 		f.Release()
 	}
 	j.buildFiles, j.probeFiles = nil, nil
+	if j.rtab != nil {
+		j.rtab.Release()
+		j.rtab = nil
+		return j.Probe.Close(c)
+	}
 	if !j.spilled {
 		return j.Probe.Close(c)
 	}

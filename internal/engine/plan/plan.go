@@ -12,6 +12,10 @@
 package plan
 
 import (
+	"bytes"
+	"fmt"
+	"strings"
+
 	"remotedb/internal/engine/catalog"
 	"remotedb/internal/engine/exec"
 	"remotedb/internal/engine/row"
@@ -37,9 +41,56 @@ const (
 // Pred is a named filter predicate. The name is the predicate's
 // identity in the plan signature — the closure itself is opaque — so
 // builders must give semantically different predicates different names.
+// Predicates built with WhereCmp additionally carry a structured Cmp
+// leaf the optimizer can reason about (and push to donors).
 type Pred struct {
 	Name string
 	Fn   func(row.Tuple) bool
+	Cmp  *Cmp
+}
+
+// CmpOp is a comparison operator in a structured predicate leaf.
+type CmpOp int
+
+// Comparison operators understood by the optimizer.
+const (
+	CmpEQ CmpOp = iota
+	CmpNE
+	CmpLT
+	CmpLE
+	CmpGT
+	CmpGE
+)
+
+func (op CmpOp) String() string {
+	switch op {
+	case CmpEQ:
+		return "="
+	case CmpNE:
+		return "!="
+	case CmpLT:
+		return "<"
+	case CmpLE:
+		return "<="
+	case CmpGT:
+		return ">"
+	case CmpGE:
+		return ">="
+	}
+	return "?"
+}
+
+// Cmp is a structured comparison leaf: column <op> constant. The
+// constant is a parameter (excluded from the plan signature, like range
+// bounds); Sel is the caller's selectivity estimate for the leaf and
+// *is* identity — the cardinality heuristics cannot tell a 0.1%
+// predicate from a 100% one, and the two deserve different cached
+// placements.
+type Cmp struct {
+	Col string
+	Op  CmpOp
+	Val interface{}
+	Sel float64
 }
 
 // Node is one logical plan operator. Range bounds (From/To) are
@@ -106,6 +157,91 @@ func Values(sch *row.Schema, rows []row.Tuple) *Builder {
 // predicate in the plan signature.
 func (b *Builder) Where(name string, fn func(row.Tuple) bool) *Builder {
 	return &Builder{n: &Node{Kind: KindFilter, Preds: []Pred{{Name: name, Fn: fn}}, Children: []*Node{b.n}}}
+}
+
+// WhereCmp filters by the structured comparison col <op> val, with sel
+// as the caller's selectivity estimate (0 = unknown). Unlike Where, the
+// optimizer can see through the predicate — cost it, and push it to the
+// donors holding the table's remote segment. The constant re-binds like
+// a range bound; sel is part of the predicate's identity. The input
+// must be a scan-rooted pipeline (the column is resolved eagerly).
+func (b *Builder) WhereCmp(col string, op CmpOp, val interface{}, sel float64) *Builder {
+	sch := outSchema(b.n)
+	ord := sch.MustOrdinal(col)
+	if v, isInt := val.(int); isInt && sch.Columns[ord].Type == row.Int64 {
+		val = int64(v)
+	}
+	p := Pred{
+		Name: fmt.Sprintf("%s%s?sel=%g", col, op, sel),
+		Fn:   cmpFn(ord, sch.Columns[ord].Type, op, val),
+		Cmp:  &Cmp{Col: col, Op: op, Val: val, Sel: sel},
+	}
+	return &Builder{n: &Node{Kind: KindFilter, Preds: []Pred{p}, Children: []*Node{b.n}}}
+}
+
+// outSchema derives the output schema of a scan-rooted pipeline; it
+// panics on subtrees (joins, aggregates) whose schemas only the
+// executor computes — WhereCmp belongs below those operators anyway.
+func outSchema(n *Node) *row.Schema {
+	switch n.Kind {
+	case KindScan:
+		return n.Table.Schema
+	case KindIndexRange:
+		return n.Index.Table.Schema
+	case KindValues:
+		return n.Sch
+	case KindProject:
+		return outSchema(n.Children[0]).Project(n.Cols...)
+	case KindFilter, KindLimit, KindSort, KindTop:
+		return outSchema(n.Children[0])
+	}
+	panic("plan: WhereCmp needs a scan-rooted input")
+}
+
+// cmpFn compiles one structured comparison into a tuple predicate.
+func cmpFn(ord int, typ row.Type, op CmpOp, val interface{}) func(row.Tuple) bool {
+	cmp := func(t row.Tuple) int {
+		switch typ {
+		case row.Int64:
+			want := val.(int64)
+			v := t[ord].(int64)
+			switch {
+			case v < want:
+				return -1
+			case v > want:
+				return 1
+			}
+			return 0
+		case row.Float64:
+			want := val.(float64)
+			v := t[ord].(float64)
+			switch {
+			case v < want:
+				return -1
+			case v > want:
+				return 1
+			}
+			return 0
+		case row.String:
+			return strings.Compare(t[ord].(string), val.(string))
+		default:
+			return bytes.Compare(t[ord].([]byte), val.([]byte))
+		}
+	}
+	switch op {
+	case CmpEQ:
+		return func(t row.Tuple) bool { return cmp(t) == 0 }
+	case CmpNE:
+		return func(t row.Tuple) bool { return cmp(t) != 0 }
+	case CmpLT:
+		return func(t row.Tuple) bool { return cmp(t) < 0 }
+	case CmpLE:
+		return func(t row.Tuple) bool { return cmp(t) <= 0 }
+	case CmpGT:
+		return func(t row.Tuple) bool { return cmp(t) > 0 }
+	default:
+		return func(t row.Tuple) bool { return cmp(t) >= 0 }
+	}
 }
 
 // Select projects the named columns.

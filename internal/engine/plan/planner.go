@@ -9,6 +9,7 @@ import (
 	"remotedb/internal/engine/exec"
 	"remotedb/internal/engine/opt"
 	"remotedb/internal/engine/row"
+	"remotedb/internal/rmem"
 )
 
 // pageRows approximates clustered rows per 8K page for cost estimation
@@ -22,8 +23,9 @@ const pageRows = 50
 // state) and never plan-node closures (a cached closure would pin
 // whatever out-of-band state the first query captured).
 type decisions struct {
-	joins    []opt.JoinPlan
-	scanDOPs []int
+	joins      []opt.JoinPlan
+	scanDOPs   []int
+	placements []opt.Placement // one per scan, preorder (PlaceLocal = ordinary lowering)
 }
 
 // Planner normalizes logical plans, caches optimization decisions
@@ -39,6 +41,15 @@ type Planner struct {
 	// cache's entire payoff on small queries.
 	PlanCPUPerNode time.Duration
 	HitCPU         time.Duration
+
+	// Pushdown lets the optimizer place pushable scans at the donors
+	// (or fetch their segment whole) instead of always lowering the
+	// buffered B-tree scan. Off by default: a placement is only as good
+	// as the pushable segments backing it.
+	Pushdown bool
+	// DonorPrice scales donor CPU in the placement cost model
+	// (0 = 1.0, i.e. donor cores priced like local ones).
+	DonorPrice float64
 
 	// Hits and Misses count cache outcomes (uncacheable plans are
 	// misses).
@@ -216,27 +227,159 @@ func specsSig(specs []exec.SortSpec) string {
 
 // --- optimization ---------------------------------------------------------
 
-// optimize walks the tree in preorder choosing a strategy per join and
-// a DOP per scan, and charges the planner's optimization CPU.
+// optimize walks the tree in preorder choosing a strategy per join, a
+// DOP and a placement per scan, and charges the planner's optimization
+// CPU.
 func (pl *Planner) optimize(c *exec.Ctx, n *Node) *decisions {
 	d := &decisions{}
-	nodes := pl.optNode(c, n, d)
+	nodes := pl.optNode(c, n, d, nil)
 	c.ChargeCPU(time.Duration(nodes) * pl.PlanCPUPerNode)
 	return d
 }
 
-func (pl *Planner) optNode(c *exec.Ctx, n *Node, d *decisions) int {
+// optNode records decisions in preorder. preds carries the predicates
+// of the filter directly above a node (normalize collapses filter
+// chains, so one hop sees them all) — the context a scan's placement
+// decision is made in.
+func (pl *Planner) optNode(c *exec.Ctx, n *Node, d *decisions, preds []Pred) int {
 	nodes := 1
 	switch n.Kind {
 	case KindJoin:
 		d.joins = append(d.joins, pl.chooseJoin(c, n))
 	case KindScan:
-		d.scanDOPs = append(d.scanDOPs, pl.chooseDOP(c, n))
+		dop := pl.chooseDOP(c, n)
+		d.scanDOPs = append(d.scanDOPs, dop)
+		d.placements = append(d.placements, pl.choosePlacement(n, preds, dop))
+	}
+	var down []Pred
+	if n.Kind == KindFilter {
+		down = n.Preds
 	}
 	for _, ch := range n.Children {
-		nodes += pl.optNode(c, ch, d)
+		nodes += pl.optNode(c, ch, d, down)
 	}
 	return nodes
+}
+
+// choosePlacement costs donor-side pushdown for one scan under the
+// given filter predicates. PlaceLocal means "lower the ordinary scan":
+// it is the answer whenever pushdown is off, the table has no pushable
+// segment, the scan is range-bounded (segment byte offsets of a PK
+// bound are unknown), or no predicate leaf is pushable.
+func (pl *Planner) choosePlacement(n *Node, preds []Pred, dop int) opt.Placement {
+	seg := n.Table.Push
+	if !pl.Pushdown || seg == nil || seg.Rows == 0 || n.From != nil || n.To != nil {
+		return opt.PlaceLocal
+	}
+	leaves, sel := pushablePreds(n.Table.Schema, preds)
+	if len(leaves) == 0 {
+		return opt.PlaceLocal
+	}
+	choice, _, _, _ := pl.Cost.ChoosePlacement(opt.PushScanInputs{
+		Rows:        seg.Rows,
+		Bytes:       seg.Bytes,
+		OutBytes:    seg.Bytes / seg.Rows,
+		Selectivity: sel,
+		Leaves:      len(leaves),
+		DonorPrice:  pl.DonorPrice,
+		LocalTier:   pl.DataTier,
+		DOP:         dop,
+	})
+	return choice
+}
+
+// pushablePreds converts the structured leaves among preds into donor
+// predicate leaves, multiplying their selectivity hints (an unhinted
+// leaf contributes the estRows default of 1/3).
+func pushablePreds(sch *row.Schema, preds []Pred) ([]rmem.PushLeaf, float64) {
+	sel := 1.0
+	var leaves []rmem.PushLeaf
+	for _, pr := range preds {
+		leaf, ok := pushLeaf(sch, pr.Cmp)
+		if !ok {
+			continue
+		}
+		leaves = append(leaves, leaf)
+		if pr.Cmp.Sel > 0 {
+			sel *= pr.Cmp.Sel
+		} else {
+			sel /= 3
+		}
+	}
+	return leaves, sel
+}
+
+// pushLeaf lowers one structured comparison to the donor evaluator's
+// leaf form, or reports it unpushable.
+func pushLeaf(sch *row.Schema, cm *Cmp) (rmem.PushLeaf, bool) {
+	if cm == nil {
+		return rmem.PushLeaf{}, false
+	}
+	ord := sch.Ordinal(cm.Col)
+	if ord < 0 {
+		return rmem.PushLeaf{}, false
+	}
+	leaf := rmem.PushLeaf{Col: ord, Op: pushOp(cm.Op)}
+	switch sch.Columns[ord].Type {
+	case row.Int64:
+		v, ok := cm.Val.(int64)
+		if !ok {
+			return rmem.PushLeaf{}, false
+		}
+		leaf.Int = v
+	case row.Float64:
+		v, ok := cm.Val.(float64)
+		if !ok {
+			return rmem.PushLeaf{}, false
+		}
+		leaf.Float = v
+	case row.String:
+		v, ok := cm.Val.(string)
+		if !ok {
+			return rmem.PushLeaf{}, false
+		}
+		leaf.Bytes = []byte(v)
+	default:
+		v, ok := cm.Val.([]byte)
+		if !ok {
+			return rmem.PushLeaf{}, false
+		}
+		leaf.Bytes = v
+	}
+	return leaf, true
+}
+
+func pushOp(op CmpOp) rmem.PushOp {
+	switch op {
+	case CmpEQ:
+		return rmem.PushEQ
+	case CmpNE:
+		return rmem.PushNE
+	case CmpLT:
+		return rmem.PushLT
+	case CmpLE:
+		return rmem.PushLE
+	case CmpGT:
+		return rmem.PushGT
+	default:
+		return rmem.PushGE
+	}
+}
+
+// pushCols renders a table schema as the donor evaluator's field kinds.
+func pushCols(sch *row.Schema) []rmem.FieldKind {
+	out := make([]rmem.FieldKind, sch.Len())
+	for i, c := range sch.Columns {
+		switch c.Type {
+		case row.Int64:
+			out[i] = rmem.FieldInt64
+		case row.Float64:
+			out[i] = rmem.FieldFloat64
+		default:
+			out[i] = rmem.FieldBytes
+		}
+	}
+	return out
 }
 
 // chooseDOP costs the scan at every DOP up to the context's budget.
@@ -426,19 +569,25 @@ func (in *instantiator) nextJoin() opt.JoinPlan {
 	return opt.PlanHashJoin
 }
 
-func (in *instantiator) nextScanDOP() int {
+// nextScanDOP consumes the next scan's DOP and placement together —
+// every scan gets exactly one of each, so the positional streams stay
+// aligned even for consumers that ignore the placement.
+func (in *instantiator) nextScanDOP() (int, opt.Placement) {
+	dop, placement := 1, opt.PlaceLocal
 	if in.scanIdx < len(in.d.scanDOPs) {
-		d := in.d.scanDOPs[in.scanIdx]
-		in.scanIdx++
-		return d
+		dop = in.d.scanDOPs[in.scanIdx]
 	}
-	return 1
+	if in.scanIdx < len(in.d.placements) {
+		placement = in.d.placements[in.scanIdx]
+	}
+	in.scanIdx++
+	return dop, placement
 }
 
 func (in *instantiator) lower(c *exec.Ctx, n *Node) (exec.Op, error) {
 	switch n.Kind {
 	case KindScan:
-		dop := in.nextScanDOP()
+		dop, _ := in.nextScanDOP()
 		if dop > 1 {
 			return &exec.ParallelScan{Table: n.Table, From: n.From, To: n.To, DOP: dop}, nil
 		}
@@ -446,6 +595,9 @@ func (in *instantiator) lower(c *exec.Ctx, n *Node) (exec.Op, error) {
 	case KindIndexRange:
 		return &exec.IndexScan{Index: n.Index, From: n.From, To: n.To, Limit: int(n.N)}, nil
 	case KindFilter:
+		if ch := n.Children[0]; ch.Kind == KindScan {
+			return in.lowerFilteredScan(n, ch)
+		}
 		ch, err := in.lower(c, n.Children[0])
 		if err != nil {
 			return nil, err
@@ -486,8 +638,8 @@ func (in *instantiator) lower(c *exec.Ctx, n *Node) (exec.Op, error) {
 		if strat == opt.PlanINLJ {
 			ix := inljIndex(n.Children[1], n.RightCols)
 			if ix != nil {
-				// The right scan's DOP decision still has to be consumed
-				// to keep later scans aligned.
+				// The right scan's DOP and placement decisions still have
+				// to be consumed to keep later scans aligned.
 				in.nextScanDOP()
 				return &exec.IndexNestedLoopJoin{Outer: left, OuterCols: n.LeftCols, Inner: ix, Fetch: true}, nil
 			}
@@ -496,21 +648,72 @@ func (in *instantiator) lower(c *exec.Ctx, n *Node) (exec.Op, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &exec.HashJoin{Build: left, Probe: right, BuildCols: n.LeftCols, ProbeCols: n.RightCols}, nil
+		return &exec.HashJoin{Build: left, Probe: right, BuildCols: n.LeftCols, ProbeCols: n.RightCols, RemoteProbe: in.pl.Pushdown}, nil
 	case KindAgg:
 		return in.lowerAgg(c, n)
 	}
 	return nil, fmt.Errorf("plan: unknown node kind %d", n.Kind)
 }
 
+// lowerFilteredScan lowers filter-over-scan honoring the cached
+// placement: PlaceLocal gives the ordinary (possibly parallel) B-tree
+// scan under a Filter, while the remote placements absorb the pushable
+// leaves into a PushScan — donor-evaluated or fetch-all per the
+// decision — leaving opaque predicates behind as a residual Filter.
+func (in *instantiator) lowerFilteredScan(f, scan *Node) (exec.Op, error) {
+	dop, placement := in.nextScanDOP()
+	if placement == opt.PlaceLocal || scan.Table.Push == nil {
+		var op exec.Op
+		if dop > 1 {
+			op = &exec.ParallelScan{Table: scan.Table, From: scan.From, To: scan.To, DOP: dop}
+		} else {
+			op = &exec.TableScan{Table: scan.Table, From: scan.From, To: scan.To}
+		}
+		return &exec.Filter{In: op, Pred: combinePreds(f.Preds)}, nil
+	}
+	return pushScanOp(f, scan, dop, placement), nil
+}
+
+// pushScanOp builds the PushScan (plus residual Filter) for a
+// filter-over-scan pair under a remote placement.
+func pushScanOp(f, scan *Node, dop int, placement opt.Placement) exec.Op {
+	leaves, _ := pushablePreds(scan.Table.Schema, f.Preds)
+	var op exec.Op = &exec.PushScan{
+		Table:    scan.Table,
+		Query:    &rmem.PushQuery{Cols: pushCols(scan.Table.Schema), Preds: leaves},
+		FetchAll: placement == opt.PlaceFetchAll,
+		DOP:      dop,
+	}
+	var residual []Pred
+	for _, pr := range f.Preds {
+		if _, ok := pushLeaf(scan.Table.Schema, pr.Cmp); !ok {
+			residual = append(residual, pr)
+		}
+	}
+	if len(residual) > 0 {
+		op = &exec.Filter{In: op, Pred: combinePreds(residual)}
+	}
+	return op
+}
+
 // lowerAgg emits a ParallelAgg when the aggregate sits on a
 // scan-rooted pipeline (filters/projections only) whose scan was given
 // DOP > 1: each partition runs the whole pipeline and aggregates
-// locally, so only tiny partial group tables cross the merge.
+// locally, so only tiny partial group tables cross the merge. A scan
+// the optimizer placed remotely instead aggregates over a PushScan
+// (which parallelizes internally by segment partition).
 func (in *instantiator) lowerAgg(c *exec.Ctx, n *Node) (exec.Op, error) {
 	chain, scan := pipelineToScan(n.Children[0])
 	if scan != nil {
-		dop := in.nextScanDOP()
+		dop, placement := in.nextScanDOP()
+		if placement != opt.PlaceLocal && scan.Table.Push != nil &&
+			len(chain) > 0 && chain[len(chain)-1].Kind == KindFilter {
+			op := pushScanOp(chain[len(chain)-1], scan, dop, placement)
+			for j := len(chain) - 2; j >= 0; j-- {
+				op = rebuildStage(chain[j], op)
+			}
+			return &exec.HashAgg{In: op, GroupBy: n.GroupBy, Aggs: n.Aggs}, nil
+		}
 		if dop > 1 {
 			ranges, err := exec.PartitionRanges(c.P, scan.Table, scan.From, scan.To, dop)
 			if err != nil {

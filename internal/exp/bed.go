@@ -126,6 +126,12 @@ type BedConfig struct {
 	// the buffer default).
 	Readahead int
 
+	// Pushdown lets the planner place pushable scans at the donors and
+	// spilled hash joins probe remote hash tables.
+	Pushdown bool
+	// DonorPrice scales donor CPU in the placement cost model.
+	DonorPrice float64
+
 	// BrokerShards shards the broker's lease space across this many
 	// replicas (0 or 1 keeps a single shard).
 	BrokerShards int
@@ -301,6 +307,8 @@ func NewBed(p *sim.Proc, cfg BedConfig) (*Bed, error) {
 	ecfg.Eviction = cfg.Eviction
 	ecfg.NoBatchedIO = cfg.NoBatchedIO
 	ecfg.Readahead = cfg.Readahead
+	ecfg.Pushdown = cfg.Pushdown
+	ecfg.DonorPrice = cfg.DonorPrice
 	if cfg.GrantBytes > 0 {
 		ecfg.Grant = cfg.GrantBytes
 	}

@@ -52,11 +52,31 @@ type EvictPoint struct {
 	WriteBackBytes int64 // synchronous eviction write-back volume
 }
 
+// RAPoint is one readahead mode's pass over the burst-scan stream.
+type RAPoint struct {
+	Mode       string
+	Window     int   // window offered at the end of the run
+	Prefetched int64 // pages installed by readahead
+	Hits       int64 // prefetched pages later demanded
+	Wasted     int64 // prefetched pages evicted unused
+	WasteRatio float64
+	Elapsed    time.Duration
+}
+
 // EvictResult is the A/B comparison.
 type EvictResult struct {
 	Clock, GDSF EvictPoint
 	HitDelta    float64 // GDSF - clock hit rate, in points
 	Speedup     float64 // clock elapsed / GDSF elapsed
+
+	// Readahead adaptation lane: the same stream of mostly-short
+	// sequential bursts through a fixed prefetch window and through the
+	// hit/waste-adaptive one. Short bursts make a fixed window overshoot
+	// past the burst end, so the adaptive window must shrink and the
+	// waste ratio must drop.
+	FixedRA    RAPoint
+	AdaptiveRA RAPoint
+	WasteDrop  float64 // fixed - adaptive waste ratio, in points
 }
 
 // RunEvict drives the same deterministic access stream through a
@@ -78,6 +98,13 @@ func RunEvict(seed int64, prm EvictParams) (EvictResult, error) {
 		if gdsf.Elapsed > 0 {
 			res.Speedup = float64(clock.Elapsed) / float64(gdsf.Elapsed)
 		}
+		if res.FixedRA, err = readaheadRun(p, seed, prm, false); err != nil {
+			return err
+		}
+		if res.AdaptiveRA, err = readaheadRun(p, seed, prm, true); err != nil {
+			return err
+		}
+		res.WasteDrop = (res.FixedRA.WasteRatio - res.AdaptiveRA.WasteRatio) * 100
 		return nil
 	})
 	return res, err
@@ -140,6 +167,88 @@ func evictRun(p *sim.Proc, seed int64, prm EvictParams, pol buffer.Policy) (Evic
 		pt.HitRate = float64(st.Hits) / float64(total)
 	}
 	return pt, nil
+}
+
+// readaheadRun drives a stream of sequential bursts — mostly short
+// range probes, occasionally a long scan leg — through a pool with the
+// given readahead mode, issuing window prefetches the way the B-tree
+// iterator does (engage after the first page, slow-start up to the
+// pool's offered window, re-arm past the previous window). A fixed
+// window keeps prefetching the full depth past every burst's end; the
+// adaptive window must observe those pages dying unused and shrink.
+func readaheadRun(p *sim.Proc, seed int64, prm EvictParams, adaptive bool) (RAPoint, error) {
+	pt := RAPoint{Mode: "fixed"}
+	if adaptive {
+		pt.Mode = "adaptive"
+	}
+	scfg := cluster.DefaultConfig()
+	scfg.MemoryBytes = 256 << 20
+	s := cluster.NewServer(p.Kernel(), "ra-"+pt.Mode, scfg)
+	cfg := buffer.DefaultConfig(prm.Frames)
+	cfg.WriterPeriod = 0
+	cfg.AdaptiveReadahead = adaptive
+	bp, err := buffer.New(p, s, vfs.NewDeviceFile("radata", s.HDD), cfg)
+	if err != nil {
+		return pt, err
+	}
+	defer bp.StopWriter()
+	for i := 0; i < prm.Pages; i++ {
+		h, _, err := bp.Allocate(p, page.TypeHeap)
+		if err != nil {
+			return pt, err
+		}
+		h.MarkDirty(uint64(i + 1))
+		h.Release()
+	}
+	if err := bp.FlushAll(p); err != nil {
+		return pt, err
+	}
+	bp.Stats = buffer.Stats{}
+
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	t0 := p.Now()
+	for visits := 0; visits < prm.Accesses; {
+		start := uint64(rng.Intn(prm.Pages-50)) + 1
+		length := 2 + rng.Intn(3) // short probe: 2-4 pages
+		if rng.Intn(10) == 0 {
+			length = 24 + rng.Intn(25) // long scan leg
+		}
+		raNext := uint64(0)
+		for j := 0; j < length; j++ {
+			no := start + uint64(j)
+			if ra := bp.ReadaheadPages(); ra > 0 && j >= 1 && no >= raNext {
+				win := j + 1
+				if win > ra {
+					win = ra
+				}
+				bp.ReadAheadWindow(p, no, win)
+				raNext = no + uint64(win)
+			}
+			h, err := bp.Get(p, no)
+			if err != nil {
+				return pt, err
+			}
+			h.Release()
+			visits++
+		}
+	}
+	pt.Elapsed = p.Now() - t0
+	st := bp.Stats
+	pt.Window = bp.ReadaheadPages()
+	pt.Prefetched = st.ReadAheadPages
+	pt.Hits = st.ReadAheadHits
+	pt.Wasted = st.ReadAheadWasted
+	if settled := pt.Hits + pt.Wasted; settled > 0 {
+		pt.WasteRatio = float64(pt.Wasted) / float64(settled)
+	}
+	return pt, nil
+}
+
+// String renders one readahead row.
+func (pt RAPoint) String() string {
+	return fmt.Sprintf("%-8s window=%d  prefetched=%d  hit=%d  wasted=%d  waste=%.1f%%  elapsed=%v",
+		pt.Mode, pt.Window, pt.Prefetched, pt.Hits, pt.Wasted,
+		pt.WasteRatio*100, pt.Elapsed.Round(time.Microsecond))
 }
 
 // String renders one policy row.

@@ -277,6 +277,19 @@ type Client struct {
 	// staging slot, the total time spent blocked, and the slot high-water
 	// mark, attributing batching wins to round trips vs queueing.
 	StagingContention metrics.Contention
+
+	// DonorCPU prices donor-side eval: a multiplier on the donor CPU time
+	// ScanPush charges (1.0 = donor cycles cost the same as the model's
+	// calibrated scan rate; >1 models donors that are busy or throttled).
+	DonorCPU float64
+
+	// Pushdown counters: ScanPush calls, bytes evaluated at donors, the
+	// qualifying bytes that actually crossed the wire, and the donor CPU
+	// charged — the "bytes on the wire" win the pushdown bench measures.
+	Pushes            int64
+	PushBytesScanned  int64
+	PushBytesReturned int64
+	PushDonorCPU      time.Duration
 }
 
 // ClientConfig parameterizes a client.
@@ -290,8 +303,13 @@ type ClientConfig struct {
 	// Encrypt enables AES-CTR encryption of every payload with Key, so
 	// donor servers only ever hold ciphertext — the security measure the
 	// paper's Section 7 calls for. Costs EncryptBytesPerSec of client CPU.
+	// Encryption makes ScanPush unavailable: donors cannot evaluate
+	// ciphertext, so pushed scans fall back to fetching whole blocks.
 	Encrypt bool
 	Key     [16]byte
+
+	// DonorCPU prices donor-side eval (see Client.DonorCPU); 0 means 1.0.
+	DonorCPU float64
 }
 
 // DefaultClientConfig mirrors Section 4.2.
@@ -323,6 +341,7 @@ func NewClient(p *sim.Proc, server *cluster.Server, cfg ClientConfig) *Client {
 		staging:      sim.NewResource(server.K, server.Name+"/staging", cfg.Schedulers*cfg.SlotsPerSch),
 		slotsPerSch:  cfg.SlotsPerSch,
 		stagingBytes: cfg.StagingBytes,
+		DonorCPU:     cfg.DonorCPU,
 	}
 	if cfg.Encrypt {
 		c.crypt = newCryptor(cfg.Key)

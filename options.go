@@ -100,6 +100,8 @@ type settings struct {
 	eviction     *EvictionPolicy
 	batchedIO    *bool
 	readahead    int
+	pushdown     *bool
+	donorPrice   float64
 	brokerShards int
 	hbEvery      time.Duration
 	tenant       string
@@ -247,6 +249,20 @@ func WithBatchedIO(on bool) Option { return func(s *settings) { s.batchedIO = &o
 // NewTestBed.
 func WithReadahead(pages int) Option { return func(s *settings) { s.readahead = pages } }
 
+// WithPushdown lets the planner place pushable scans at the donors:
+// once a table has a pushable segment (Engine.BuildPushSegment), the
+// optimizer costs donor-side evaluation against fetch-all and a local
+// scan, and the executor degrades per partition to fetch-all whenever a
+// donor cannot evaluate (off by default). Consumed by StartEngine and
+// NewTestBed.
+func WithPushdown(on bool) Option { return func(s *settings) { s.pushdown = &on } }
+
+// WithDonorCPU scales donor CPU in the placement cost model: a price
+// above 1 makes donor cycles pricier than the client's, lowering the
+// selectivity at which the optimizer stops pushing work to the donors
+// (0 keeps the default of 1). Consumed by StartEngine and NewTestBed.
+func WithDonorCPU(price float64) Option { return func(s *settings) { s.donorPrice = price } }
+
 // WithBrokerShards shards the broker's lease space across n replicas:
 // lease IDs are strided so any lease routes back to its shard, donors
 // and holders spread over shards by rendezvous hashing, and a failed
@@ -346,7 +362,7 @@ func MountRemoteFS(p *Proc, b LeaseService, client *RemoteClient, opts ...Option
 // StartEngine assembles the mini-RDBMS on server over the given storage
 // placement, configured by options (WithBufferFrames, WithBPExtSlots,
 // WithGrant, WithSemCache, WithPlanCache, WithDOP, WithEviction,
-// WithBatchedIO, WithReadahead).
+// WithBatchedIO, WithReadahead, WithPushdown, WithDonorCPU).
 func StartEngine(p *Proc, server *Server, files EngineFiles, opts ...Option) (*Engine, error) {
 	s := apply(opts)
 	frames := s.bufferFrames
@@ -379,6 +395,12 @@ func StartEngine(p *Proc, server *Server, files EngineFiles, opts ...Option) (*E
 	if s.readahead > 0 {
 		cfg.Readahead = s.readahead
 	}
+	if s.pushdown != nil {
+		cfg.Pushdown = *s.pushdown
+	}
+	if s.donorPrice > 0 {
+		cfg.DonorPrice = s.donorPrice
+	}
 	return engine.New(p, server, files, cfg)
 }
 
@@ -386,8 +408,8 @@ func StartEngine(p *Proc, server *Server, files EngineFiles, opts ...Option) (*E
 // configured by options (WithStripeSize, WithLeaseTTL, WithExpirySweep,
 // WithRetryPolicy, WithRecovery, WithRemoteServers, WithBufferFrames,
 // WithBPExtBytes, WithReplication, WithIntegrity, WithScrubEvery,
-// WithEviction, WithBatchedIO, WithReadahead, WithBrokerShards,
-// WithHeartbeatEvery, WithTenantQuota).
+// WithEviction, WithBatchedIO, WithReadahead, WithPushdown,
+// WithDonorCPU, WithBrokerShards, WithHeartbeatEvery, WithTenantQuota).
 func NewTestBed(p *Proc, d Design, opts ...Option) (*Bed, error) {
 	s := apply(opts)
 	cfg := exp.DefaultBedConfig(d)
@@ -432,6 +454,12 @@ func NewTestBed(p *Proc, d Design, opts ...Option) (*Bed, error) {
 	}
 	if s.readahead > 0 {
 		cfg.Readahead = s.readahead
+	}
+	if s.pushdown != nil {
+		cfg.Pushdown = *s.pushdown
+	}
+	if s.donorPrice > 0 {
+		cfg.DonorPrice = s.donorPrice
 	}
 	if s.brokerShards > 0 {
 		cfg.BrokerShards = s.brokerShards

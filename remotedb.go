@@ -210,6 +210,20 @@ func Scan(t *Table) *QueryBuilder { return plan.Scan(t) }
 // plan parameters: queries differing only in bounds share a cached plan.
 func ScanRange(t *Table, from, to []byte) *QueryBuilder { return plan.ScanRange(t, from, to) }
 
+// CmpOp is a comparison operator for QueryBuilder.WhereCmp — the
+// predicate form the optimizer can push to the donors (WithPushdown).
+type CmpOp = plan.CmpOp
+
+// The comparison operators.
+const (
+	CmpEQ = plan.CmpEQ
+	CmpNE = plan.CmpNE
+	CmpLT = plan.CmpLT
+	CmpLE = plan.CmpLE
+	CmpGT = plan.CmpGT
+	CmpGE = plan.CmpGE
+)
+
 // Table is a clustered table with optional secondary indexes.
 type Table = catalog.Table
 
