@@ -43,6 +43,10 @@
 //	cluster    cluster-scale broker: 200+ DB servers and donors on a
 //	           sharded broker with batched heartbeats, through a
 //	           diurnal reclamation wave
+//	chaos      tail-tolerance chaos harness on the cluster bed:
+//	           slow-donor injection (hedging A/B), a reclamation
+//	           storm under deadline budgets + health scoring, and a
+//	           flapping donor through the breaker's recovery arc
 //	all        everything above
 //
 // With -json each experiment also writes BENCH_<experiment>.json:
@@ -96,7 +100,7 @@ func run(name string) error {
 			"fig12", "fig13", "fig14", "fig15a", "fig15b", "fig16",
 			"fig18", "fig20", "fig22", "fig24", "fig25", "fig26",
 			"fig27", "ablation", "faults", "scrub", "plancache", "parscan",
-			"iobatch", "evict", "pushdown", "cluster",
+			"iobatch", "evict", "pushdown", "cluster", "chaos",
 		} {
 			fmt.Printf("\n===== %s =====\n", n)
 			if err := run(n); err != nil {
@@ -176,6 +180,8 @@ func dispatch(name string) error {
 		return pushdown()
 	case "cluster":
 		return clusterBench()
+	case "chaos":
+		return chaosBench()
 	}
 	return fmt.Errorf("unknown experiment %q", name)
 }
@@ -888,5 +894,69 @@ func scrub() error {
 	metric("storm_salvages", float64(res.Salvages))
 	metric("storm_lost_stripes", float64(res.LostStripes))
 	metric("storm_errors", float64(res.StormErrors))
+	return nil
+}
+
+func chaosBench() error {
+	fmt.Println("Tail-tolerance chaos harness: slow donors (hedging A/B),")
+	fmt.Println("a reclamation storm under the full stack, and a flapping donor")
+	prm := exp.DefaultChaosParams()
+	if *quick {
+		prm = exp.QuickChaosParams()
+	}
+	res, err := exp.RunChaos(*seed, prm)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("  %d participants, %d-way replicated stripes, hedge cap %.0f%%\n",
+		res.Participants, prm.Replication, prm.HedgeRateCap*100)
+	fmt.Printf("  slow donors (%d donors +%v):\n", prm.SlowDonors, prm.SlowBy)
+	fmt.Printf("    hedging off: p50=%v p99=%v %.0f MB/s\n",
+		res.SlowOff.P50.Round(time.Microsecond), res.SlowOff.P99.Round(time.Microsecond), res.SlowOff.BytesPerSec/1e6)
+	fmt.Printf("    hedging on:  p50=%v p99=%v %.0f MB/s\n",
+		res.SlowOn.P50.Round(time.Microsecond), res.SlowOn.P99.Round(time.Microsecond), res.SlowOn.BytesPerSec/1e6)
+	fmt.Printf("    p99 cut %.1fx, hedge rate %.3f (%d hedges, %d wins, %d tolerant reads)\n",
+		res.HedgeCut, res.HedgeRate, res.Hedged, res.HedgeWins, res.Tolerant)
+	fmt.Printf("  reclamation storm: %d/%d leases shed\n", res.Shed, res.LiveBefore)
+	fmt.Printf("    healthy:   p99=%v %.0f MB/s\n", res.Healthy.P99.Round(time.Microsecond), res.Healthy.BytesPerSec/1e6)
+	fmt.Printf("    storm:     p99=%v %.0f MB/s\n", res.Storm.P99.Round(time.Microsecond), res.Storm.BytesPerSec/1e6)
+	fmt.Printf("    recovered: p99=%v %.0f MB/s\n", res.Recovered.P99.Round(time.Microsecond), res.Recovered.BytesPerSec/1e6)
+	fmt.Printf("    slow-reads=%d deadline-misses=%d hedged=%d proactive-migrations=%d\n",
+		res.StormSlow, res.StormMisses, res.StormHedged, res.StormMigrations)
+	fmt.Printf("  flapping donor: brownouts=%d quarantines=%d probes=%d recoveries=%d health-reports=%d\n",
+		res.FlapBrownouts, res.FlapQuarantines, res.FlapProbes, res.FlapRecoveries, res.HealthReports)
+	fmt.Printf("  fallback reads=%d engine-visible errors=%d\n", res.Fallbacks, res.Errors)
+
+	metric("participants", float64(res.Participants))
+	metricDur("slow_off_p50_ms", res.SlowOff.P50)
+	metricDur("slow_off_p99_ms", res.SlowOff.P99)
+	metric("slow_off_mb_per_sec", res.SlowOff.BytesPerSec/1e6)
+	metricDur("slow_on_p50_ms", res.SlowOn.P50)
+	metricDur("slow_on_p99_ms", res.SlowOn.P99)
+	metric("slow_on_mb_per_sec", res.SlowOn.BytesPerSec/1e6)
+	metric("hedge_cut", res.HedgeCut)
+	metric("hedge_rate", res.HedgeRate)
+	metric("hedged_reads", float64(res.Hedged))
+	metric("hedge_wins", float64(res.HedgeWins))
+	metric("tolerant_reads", float64(res.Tolerant))
+	metric("live_before_storm", float64(res.LiveBefore))
+	metric("shed", float64(res.Shed))
+	metricDur("healthy_p99_ms", res.Healthy.P99)
+	metric("healthy_mb_per_sec", res.Healthy.BytesPerSec/1e6)
+	metricDur("storm_p99_ms", res.Storm.P99)
+	metric("storm_mb_per_sec", res.Storm.BytesPerSec/1e6)
+	metricDur("recovered_p99_ms", res.Recovered.P99)
+	metric("recovered_mb_per_sec", res.Recovered.BytesPerSec/1e6)
+	metric("storm_slow_reads", float64(res.StormSlow))
+	metric("storm_deadline_misses", float64(res.StormMisses))
+	metric("storm_hedged", float64(res.StormHedged))
+	metric("storm_migrations", float64(res.StormMigrations))
+	metric("flap_brownouts", float64(res.FlapBrownouts))
+	metric("flap_quarantines", float64(res.FlapQuarantines))
+	metric("flap_probes", float64(res.FlapProbes))
+	metric("flap_recoveries", float64(res.FlapRecoveries))
+	metric("health_reports", float64(res.HealthReports))
+	metric("fallbacks", float64(res.Fallbacks))
+	metric("errors", float64(res.Errors))
 	return nil
 }

@@ -108,7 +108,14 @@ type Broker struct {
 
 	stopExpire bool
 
+	// health records which holders currently report each donor as slow
+	// (donor -> set of reporting holders). A donor with any reporter is
+	// soft-avoided in placement exactly as if every requester had named
+	// it in RequestSpec.SoftAvoid.
+	health map[string]map[string]bool
+
 	Grants, Renewals, Expirations, Revocations int64
+	HealthReports                              int64
 
 	// GaugeActive / GaugeFree track live leases and unleased MRs with
 	// peaks; HeartbeatBatch records how many leases each batched renewal
@@ -170,6 +177,7 @@ func New(p *sim.Proc, store *metastore.Store, cfg Config) *Broker {
 		maxFrac:   cfg.MaxFractionPerHolder,
 		leases:    make(map[LeaseID]*Lease),
 		watches:   make(map[string][]RevokeWatch),
+		health:    make(map[string]map[string]bool),
 	}
 	if cfg.Quotas != nil || cfg.Weights != nil {
 		b.admit = newAdmitter(cfg.Quotas, cfg.Weights, cfg.ScarceFrac)
@@ -376,23 +384,39 @@ func (b *Broker) Request(p *sim.Proc, spec RequestSpec) ([]*Lease, error) {
 			return nil, err
 		}
 	}
+	deprio := func(name string) bool {
+		return spec.SoftAvoid[name] || len(b.health[name]) > 0
+	}
 	var out []*Lease
 	for len(out) < spec.N {
 		var px *Proxy
-		switch spec.Place {
-		case PlaceSpread:
-			// Round-robin over proxies with free MRs.
-			for tries := 0; tries < len(b.proxies); tries++ {
-				cand := b.proxies[b.rrIdx%len(b.proxies)]
-				b.rrIdx++
-				if !cand.failed && !spec.Avoid[cand.Server.Name] && cand.Pool.FreeCount() > 0 {
+		// Two passes: the first skips soft-avoided (browned-out) donors,
+		// the second admits them — deprioritize, never fail, so under
+		// scarcity a slow donor still serves.
+		for pass := 0; pass < 2 && px == nil; pass++ {
+			switch spec.Place {
+			case PlaceSpread:
+				// Round-robin over proxies with free MRs.
+				for tries := 0; tries < len(b.proxies); tries++ {
+					cand := b.proxies[b.rrIdx%len(b.proxies)]
+					b.rrIdx++
+					if cand.failed || spec.Avoid[cand.Server.Name] || cand.Pool.FreeCount() == 0 {
+						continue
+					}
+					if pass == 0 && deprio(cand.Server.Name) {
+						continue
+					}
 					px = cand
 					break
 				}
-			}
-		default:
-			for _, cand := range b.proxies {
-				if !cand.failed && !spec.Avoid[cand.Server.Name] && cand.Pool.FreeCount() > 0 {
+			default:
+				for _, cand := range b.proxies {
+					if cand.failed || spec.Avoid[cand.Server.Name] || cand.Pool.FreeCount() == 0 {
+						continue
+					}
+					if pass == 0 && deprio(cand.Server.Name) {
+						continue
+					}
 					px = cand
 					break
 				}
@@ -650,6 +674,40 @@ func (b *Broker) RevokeOldest(n int) int {
 		revoked++
 	}
 	return revoked
+}
+
+// ReportDonorHealth replaces holder's set of reportedly slow donors
+// (piggybacked on its batched heartbeat). Donors named by at least one
+// holder are deprioritized for everyone's new leases until their last
+// reporter withdraws. Unknown donor names are stored harmlessly: the
+// placement loop only consults the map for proxies it actually has.
+func (b *Broker) ReportDonorHealth(holder string, slow []string) {
+	b.HealthReports++
+	for donor, reporters := range b.health {
+		if reporters[holder] {
+			delete(reporters, holder)
+			if len(reporters) == 0 {
+				delete(b.health, donor)
+			}
+		}
+	}
+	for _, donor := range slow {
+		if b.health[donor] == nil {
+			b.health[donor] = make(map[string]bool)
+		}
+		b.health[donor][holder] = true
+	}
+}
+
+// DeprioritizedDonors returns the donors currently reported slow by at
+// least one holder (placement soft-avoids them), sorted.
+func (b *Broker) DeprioritizedDonors() []string {
+	out := make([]string, 0, len(b.health))
+	for donor := range b.health {
+		out = append(out, donor)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // ActiveLeases returns the number of live leases.

@@ -456,6 +456,18 @@ func (c *Cluster) ExpireLoop(p *sim.Proc, interval time.Duration) {
 // StopExpireLoop asks a running ExpireLoop to exit at its next tick.
 func (c *Cluster) StopExpireLoop() { c.stopExpire = true }
 
+// ReportDonorHealth fans a holder's slow-donor report out to every live
+// shard: proxies are distributed across shards, and each shard places
+// grants independently, so each needs the full picture. Shards without
+// a named proxy store the entry harmlessly.
+func (c *Cluster) ReportDonorHealth(holder string, slow []string) {
+	for _, sh := range c.shards {
+		if !sh.down {
+			sh.b.ReportDonorHealth(holder, slow)
+		}
+	}
+}
+
 // ActiveLeases sums live leases over live shards.
 func (c *Cluster) ActiveLeases() int {
 	n := 0
@@ -483,6 +495,12 @@ func (c *Cluster) Grants() int64      { return c.sum(func(b *Broker) int64 { ret
 func (c *Cluster) Renewals() int64    { return c.sum(func(b *Broker) int64 { return b.Renewals }) }
 func (c *Cluster) Expirations() int64 { return c.sum(func(b *Broker) int64 { return b.Expirations }) }
 func (c *Cluster) Revocations() int64 { return c.sum(func(b *Broker) int64 { return b.Revocations }) }
+
+// HealthReports counts slow-donor reports received across all shards
+// (each holder heartbeat fans its report out to every live shard).
+func (c *Cluster) HealthReports() int64 {
+	return c.sum(func(b *Broker) int64 { return b.HealthReports })
+}
 
 func (c *Cluster) sum(f func(*Broker) int64) int64 {
 	var n int64

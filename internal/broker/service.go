@@ -28,6 +28,13 @@ type RequestSpec struct {
 	// anti-affinity). Under scarcity the constraint is never weakened:
 	// an unsatisfiable avoid set fails with ErrNoMemory.
 	Avoid map[string]bool
+	// SoftAvoid names donor servers to deprioritize, not exclude: a
+	// browned-out donor (slow, error-prone, about to reclaim) should not
+	// receive new leases while healthy donors have free MRs, but under
+	// scarcity a lease on a slow donor still beats no lease at all.
+	// Holders fill it from their own health scoring; the broker unions
+	// in reports piggybacked on other holders' heartbeats (HealthSink).
+	SoftAvoid map[string]bool
 	// Tenant is the workload the grant is charged to for quota and
 	// fairness purposes; empty defaults to Holder.
 	Tenant string
@@ -78,6 +85,24 @@ type LeaseService interface {
 var (
 	_ LeaseService = (*Broker)(nil)
 	_ LeaseService = (*Cluster)(nil)
+)
+
+// HealthSink is the optional donor-health reporting extension of a
+// LeaseService. Holders that score donor health (core.FS with
+// HealthChecks on) piggyback their current set of slow donors on the
+// batched heartbeat; the broker unions the reports across holders and
+// deprioritizes those donors for *every* holder's new leases — one
+// tenant's brownout observation protects the rest of the fleet. Each
+// report replaces the holder's previous one, so a recovered donor drops
+// out as soon as its last reporter stops naming it. Consumers discover
+// the extension by type assertion, keeping LeaseService itself stable.
+type HealthSink interface {
+	ReportDonorHealth(holder string, slow []string)
+}
+
+var (
+	_ HealthSink = (*Broker)(nil)
+	_ HealthSink = (*Cluster)(nil)
 )
 
 // rendezvousScore ranks shard i for key: FNV-1a over the key and the

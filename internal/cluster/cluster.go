@@ -59,6 +59,8 @@ type Server struct {
 	memBrokered  int64 // memory pinned as MRs and leased out via the broker
 
 	pressureSubs []func(need int64)
+
+	serviceDelay time.Duration // injected per-transfer slowness (chaos: reclaiming/NIC-saturated donor)
 }
 
 // NewServer creates a server on kernel k.
@@ -146,6 +148,22 @@ func (s *Server) Reschedule(p *sim.Proc) {
 
 // FileServer returns the SMB worker stage used by the RamDrive designs.
 func (s *Server) FileServer() *sim.Resource { return s.fileServer }
+
+// SetServiceDelay injects d of extra latency into every remote-memory
+// transfer served by this machine, modeling a donor that is alive but
+// slow — reclaiming under memory pressure, NIC-saturated, or about to
+// revoke. Zero restores normal service. The delay is consulted by the
+// rmem transports on each transfer, so it applies to all clients of all
+// MRs hosted here and can be flipped mid-run by chaos scenarios.
+func (s *Server) SetServiceDelay(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.serviceDelay = d
+}
+
+// ServiceDelay returns the injected per-transfer slowness (0 = none).
+func (s *Server) ServiceDelay() time.Duration { return s.serviceDelay }
 
 // CPUBusyNanos returns cumulative core-nanoseconds consumed, for windowed
 // utilization sampling (Figure 11b, Figure 14c).

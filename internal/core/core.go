@@ -107,6 +107,36 @@ type FS struct {
 	// failures during renewal and re-leasing.
 	Retry fault.RetryPolicy
 
+	// DeadlineBudget bounds each read's time in the remote tier (0 =
+	// unbounded): a read still in flight past the budget is abandoned
+	// with an error wrapping fault.ErrSlow and the caller falls back
+	// exactly as for a transient failure. A per-process deadline
+	// (sim.Proc.SetDeadline, set from the query executor's per-query
+	// budget) takes precedence over this per-op default.
+	DeadlineBudget time.Duration
+
+	// Hedging races a replica read against the primary when the primary
+	// exceeds an adaptive threshold (the donor's learned p95 latency),
+	// taking the first verified frame. Requires Replication > 1 to have
+	// any effect. Hedge volume is capped at HedgeRateCap of reads.
+	Hedging bool
+
+	// HedgeRateCap is the maximum fraction of reads allowed to hedge
+	// (0 = default 0.1), so hedges cannot melt the NIC when the whole
+	// fleet slows down at once.
+	HedgeRateCap float64
+
+	// HedgeAfter fixes the hedge threshold (0 = adaptive per-donor p95).
+	HedgeAfter time.Duration
+
+	// HealthChecks scores every donor's latency/error history, drives
+	// the three-state breaker (healthy -> browned-out -> quarantined),
+	// deprioritizes browned-out donors for new leases (soft-avoid hints
+	// piggybacked on heartbeats), proactively migrates replicas off
+	// quarantined donors, and probes unhealthy donors with trickle
+	// reads for recovery. See health.go.
+	HealthChecks bool
+
 	// DefaultSalvage, when non-nil, is installed on every created file
 	// (a per-file SetSalvage overrides it).
 	DefaultSalvage Salvage
@@ -115,6 +145,7 @@ type FS struct {
 	holder   string
 	files    map[string]*File
 	hbActive bool
+	health   *healthTracker // nil unless Hedging or HealthChecks
 
 	// Fault-tolerance counters (virtual-time observability).
 	Restripes    int64 // stripes (all replicas) successfully re-leased
@@ -137,6 +168,17 @@ type FS struct {
 	// a donor-side integrity failure or mid-flight revocation.
 	PushReads     int64
 	PushFallbacks int64
+
+	// Tail-tolerance counters (see health.go).
+	TolerantReads       int64 // block reads through the tail-tolerant path
+	HedgedReads         int64 // hedge reads actually fired
+	HedgeWins           int64 // hedges that beat the primary with a verified frame
+	SlowReads           int64 // reads abandoned over a blown deadline budget (ErrSlow)
+	Brownouts           int64 // donor transitions into the browned-out state
+	Quarantines         int64 // donor transitions into quarantine
+	HealthRecoveries    int64 // donors probed back to healthy
+	ProactiveMigrations int64 // replicas migrated off quarantined donors before revocation
+	HealthProbes        int64 // trickle reads routed through unhealthy donors
 }
 
 // Config parameterizes an FS.
@@ -167,6 +209,20 @@ type Config struct {
 	// Salvage is the FS-wide default salvage callback (see
 	// FS.DefaultSalvage).
 	Salvage Salvage
+
+	// DeadlineBudget bounds each read's remote-tier time (see
+	// FS.DeadlineBudget).
+	DeadlineBudget time.Duration
+	// Hedging enables hedged replica reads (see FS.Hedging).
+	Hedging bool
+	// HedgeRateCap caps the hedged fraction of reads (see
+	// FS.HedgeRateCap).
+	HedgeRateCap float64
+	// HedgeAfter fixes the hedge threshold (see FS.HedgeAfter).
+	HedgeAfter time.Duration
+	// HealthChecks enables donor health scoring and the brownout /
+	// quarantine breaker (see FS.HealthChecks).
+	HealthChecks bool
 }
 
 // DefaultConfig is the paper's Custom design with recovery on and the
@@ -215,10 +271,18 @@ func NewFS(p *sim.Proc, b broker.LeaseService, client *rmem.Client, cfg Config) 
 		Replication:    cfg.Replication,
 		ScrubEvery:     cfg.ScrubEvery,
 		Retry:          cfg.Retry,
+		DeadlineBudget: cfg.DeadlineBudget,
+		Hedging:        cfg.Hedging,
+		HedgeRateCap:   cfg.HedgeRateCap,
+		HedgeAfter:     cfg.HedgeAfter,
+		HealthChecks:   cfg.HealthChecks,
 		DefaultSalvage: cfg.Salvage,
 		k:              p.Kernel(),
 		holder:         client.Server.Name,
 		files:          make(map[string]*File),
+	}
+	if fs.Hedging || fs.HealthChecks {
+		fs.health = newHealthTracker(fs)
 	}
 	b.OnRevoke(fs.holder, fs.onRevoked)
 	return fs
@@ -304,6 +368,12 @@ func (fs *FS) requestAvoiding(p *sim.Proc, n int, avoid map[string]bool) ([]*bro
 		Place:  fs.Placement,
 		Avoid:  avoid,
 		Tenant: fs.Tenant,
+	}
+	if fs.HealthChecks && fs.health != nil {
+		// Deprioritize donors our own health scoring has browned out or
+		// quarantined; the broker may know about more via other holders'
+		// piggybacked reports.
+		spec.SoftAvoid = fs.health.avoidSet()
 	}
 	var out []*broker.Lease
 	err := fault.Retry(p, fs.Retry, func() error {
@@ -562,6 +632,14 @@ func (fs *FS) heartbeatLoop(p *sim.Proc) {
 			fs.RenewRetries += int64(attempts - 1)
 		}
 		fs.Heartbeats++
+		if err == nil && fs.HealthChecks && fs.health != nil {
+			// Piggyback the current slow-donor set on the heartbeat that
+			// just went through (same RPC in a real system); the broker
+			// deprioritizes these donors for every holder's new leases.
+			if sink, ok := fs.Broker.(broker.HealthSink); ok {
+				sink.ReportDonorHealth(fs.holder, fs.health.slowDonors())
+			}
+		}
 		if err != nil {
 			// The broker/metastore stayed unreachable past the retry
 			// budget: nothing in the cohort was renewed, so the whole
@@ -622,6 +700,17 @@ func (f *File) replicaLost(s, r int) {
 	}
 	name := fmt.Sprintf("restripe:%s:%d", f.name, s)
 	f.fs.k.Go(name, func(rp *sim.Proc) { f.repairStripe(rp, s) })
+}
+
+// underRepair reports whether any replica of stripe s has an active
+// repair (replica rebuild or full restripe+salvage) in flight.
+func (f *File) underRepair(s int) bool {
+	for r := range f.repairing[s] {
+		if f.repairing[s][r] {
+			return true
+		}
+	}
+	return false
 }
 
 // healthyReplicas counts stripe s replicas not currently down.
@@ -829,6 +918,11 @@ func (f *File) access(p *sim.Proc, b []byte, off int64, write bool) error {
 		var err error
 		if write {
 			err = f.fs.Transport.Write(p, f.fs.Client, l.MR, int(within), b[:n])
+		} else if dl := f.fs.opDeadline(p); dl > 0 {
+			err = rmem.ReadWithin(p, f.fs.Transport, f.fs.Client, l.MR, int(within), b[:n], dl)
+			if errors.Is(err, fault.ErrSlow) {
+				f.fs.SlowReads++
+			}
 		} else {
 			err = f.fs.Transport.Read(p, f.fs.Client, l.MR, int(within), b[:n])
 		}

@@ -43,6 +43,7 @@ import (
 	"hash/crc32"
 
 	"remotedb/internal/broker"
+	"remotedb/internal/hw/nic"
 	"remotedb/internal/rmem"
 	"remotedb/internal/sim"
 	"remotedb/internal/vfs"
@@ -168,6 +169,10 @@ func (f *File) readBlockInto(p *sim.Proc, g, within int64, dst []byte) error {
 	}
 	if f.gens[g] == 0 {
 		// Never written (or zeroed by a restripe): serve zeros locally.
+		// The memset is charged as client CPU — a zero-cost success here
+		// would let a read loop over a zeroed range spin without ever
+		// yielding to the simulation clock.
+		f.fs.Client.Server.Work(p, nic.MemcpyCost(len(dst)))
 		for i := range dst {
 			dst[i] = 0
 		}
@@ -186,6 +191,9 @@ func (f *File) readBlockInto(p *sim.Proc, g, within int64, dst []byte) error {
 // and repairing corrupt copies it passed on the way. On return with nil
 // error, frame holds a verified frame.
 func (f *File) fetchBlock(p *sim.Proc, g int64, frame []byte) error {
+	if f.fs.tailTolerant(p) {
+		return f.fetchBlockTolerant(p, g, frame, -1)
+	}
 	return f.fetchBlockSkip(p, g, frame, -1)
 }
 
@@ -242,6 +250,14 @@ func (f *File) fetchBlockSkip(p *sim.Proc, g int64, frame []byte, skip int) erro
 		return nil
 	}
 	if len(bad) > 0 {
+		if f.underRepair(s) {
+			// An unverifiable frame while the stripe is actively being
+			// rebuilt is the rebuild's churn (half-swapped replicas,
+			// salvage writes racing this read), not data loss. Degrade to
+			// the retryable repair-in-progress error instead of poisoning
+			// a block the repair is about to make whole.
+			return f.stripeErr(s)
+		}
 		// Every live replica's copy failed verification: the block's
 		// data is gone. Fail loudly and let salvage repopulate.
 		f.poisonBlock(p, g)

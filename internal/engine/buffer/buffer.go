@@ -24,6 +24,7 @@ import (
 	"remotedb/internal/cluster"
 	"remotedb/internal/engine/opt"
 	"remotedb/internal/engine/page"
+	"remotedb/internal/fault"
 	"remotedb/internal/sim"
 	"remotedb/internal/vfs"
 )
@@ -117,6 +118,7 @@ type Stats struct {
 	ReadAheadPages  int64 // pages prefetched by ReadAhead
 	ReadAheadHits   int64 // prefetched pages later demanded while resident
 	ReadAheadWasted int64 // prefetched pages evicted without ever being demanded
+	ExtSlow         int64 // extension accesses abandoned on a blown deadline budget
 }
 
 // Pool is the buffer pool.
@@ -532,11 +534,18 @@ func (bp *Pool) evict(p *sim.Proc, idx int) (bool, error) {
 // the restripe will restore service. A detected-corrupt block likewise
 // keeps the tier: the integrity layer already refused to serve the bad
 // bytes (this access fell back to the data file), poisoned the block,
-// and salvage/overwrite will heal it. Anything terminal disables the
-// tier for good (best-effort semantics: the engine keeps running off
-// the data file).
+// and salvage/overwrite will heal it. A deadline-budget miss
+// (fault.ErrSlow) is transient by definition — the donor was slow, not
+// gone — so it never disables the tier: this access fell back to the
+// data file and the next one retries remote. Anything terminal disables
+// the tier for good (best-effort semantics: the engine keeps running
+// off the data file).
 func (bp *Pool) extFailed(err error) {
 	if bp.ext == nil {
+		return
+	}
+	if fault.Slow(err) {
+		bp.Stats.ExtSlow++
 		return
 	}
 	if errors.Is(err, vfs.ErrUnavailable) || errors.Is(err, vfs.ErrCorrupt) {

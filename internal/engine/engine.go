@@ -7,6 +7,8 @@
 package engine
 
 import (
+	"time"
+
 	"remotedb/internal/cluster"
 	"remotedb/internal/engine/buffer"
 	"remotedb/internal/engine/catalog"
@@ -64,6 +66,9 @@ type Config struct {
 	// DonorPrice scales donor CPU in the placement cost model
 	// (0 = donor cores priced like local ones).
 	DonorPrice float64
+	// Budget is the per-query remote-I/O deadline budget stamped on
+	// each query's proc by exec.Open (0 = none; see exec.Ctx.Budget).
+	Budget time.Duration
 }
 
 // DefaultConfig sizes the pool to frames pages with standard costs.
@@ -89,6 +94,7 @@ type Engine struct {
 	CPU     exec.CPUProfile
 	Grant   int64
 	DOP     int
+	Budget  time.Duration // per-query remote-I/O deadline budget (0 = none)
 }
 
 // New builds an engine on server with the given storage placement.
@@ -123,6 +129,7 @@ func New(p *sim.Proc, server *cluster.Server, files Files, cfg Config) (*Engine,
 		CPU:     cfg.CPU,
 		Grant:   cfg.Grant,
 		DOP:     cfg.DOP,
+		Budget:  cfg.Budget,
 	}
 	if e.DOP == 0 {
 		e.DOP = 4 // SQL Server runs analytic plans parallel by default
@@ -184,6 +191,7 @@ func (e *Engine) NewCtx(p *sim.Proc) *exec.Ctx {
 		Grant:  e.Grant,
 		CPU:    e.CPU,
 		DOP:    e.DOP,
+		Budget: e.Budget,
 	}
 }
 

@@ -47,6 +47,14 @@ type Ctx struct {
 	CPU    CPUProfile
 	DOP    int // degree of intra-query parallelism (0/1 = serial)
 
+	// Budget is the per-query deadline budget for remote-memory I/O:
+	// Open stamps Now+Budget as the proc's deadline for the life of the
+	// query, and every rmem transfer issued beneath it (buffer-pool
+	// extension faults, pushdown reads) is abandoned with fault.ErrSlow
+	// once that deadline passes — the access falls back to the local
+	// tier instead of riding a slow donor. 0 = no budget.
+	Budget time.Duration
+
 	cpuDebt time.Duration
 
 	RowsOut      int64
@@ -89,6 +97,12 @@ func (c *Ctx) ChargeCPU(d time.Duration) { c.chargeCPU(d) }
 // profile, but the worker's own proc and its own CPU-debt batch, so
 // each worker's CPU lands on its own simulated core.
 func (c *Ctx) Child(p *sim.Proc) *Ctx {
+	// Workers inherit the query's absolute deadline (not a fresh
+	// budget): a parallel scan's remote reads race the same clock as
+	// the query that spawned them.
+	if dl := c.P.Deadline(); dl > 0 {
+		p.SetDeadline(dl)
+	}
 	return &Ctx{
 		P:      p,
 		Server: c.Server,
@@ -96,6 +110,7 @@ func (c *Ctx) Child(p *sim.Proc) *Ctx {
 		Grant:  c.Grant,
 		CPU:    c.CPU,
 		DOP:    1,
+		Budget: c.Budget,
 	}
 }
 

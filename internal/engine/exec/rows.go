@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"time"
+
 	"remotedb/internal/engine/row"
 )
 
@@ -15,16 +17,27 @@ type Rows struct {
 	n      int64
 	closed bool
 	err    error
+	prevDL time.Duration // proc deadline to restore on Close
 }
 
 // Open opens an operator tree and returns its streaming iterator. The
 // caller must Close the Rows (Close is idempotent and safe after an
 // error) to release operator state and flush accrued CPU.
+//
+// If the context carries a deadline budget, Open stamps the absolute
+// deadline (Now+Budget) on the proc for the life of the query; Close
+// restores whatever deadline the proc had before, so back-to-back
+// queries on one proc each get a fresh budget.
 func Open(c *Ctx, op Op) (*Rows, error) {
+	prev := c.P.Deadline()
+	if c.Budget > 0 {
+		c.P.SetDeadline(c.P.Now() + c.Budget)
+	}
 	if err := op.Open(c); err != nil {
+		c.P.SetDeadline(prev)
 		return nil, err
 	}
-	return &Rows{c: c, op: op}, nil
+	return &Rows{c: c, op: op, prevDL: prev}, nil
 }
 
 // Schema returns the result schema.
@@ -56,6 +69,9 @@ func (r *Rows) Close() error {
 	}
 	r.closed = true
 	err := r.op.Close(r.c)
+	if r.c.Budget > 0 {
+		r.c.P.SetDeadline(r.prevDL)
+	}
 	r.c.FlushCPU()
 	r.c.RowsOut = r.n
 	if r.err == nil {

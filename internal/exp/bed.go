@@ -142,6 +142,25 @@ type BedConfig struct {
 	TenantQuotas map[string]int64
 	// Tenant tags the bed FS's lease requests for admission accounting.
 	Tenant string
+
+	// DeadlineBudget bounds every remote transfer: an op still in
+	// flight past the budget is abandoned with fault.ErrSlow and the
+	// access falls back to the local tier. Also stamped on each query
+	// as its per-query budget (0 = none).
+	DeadlineBudget time.Duration
+	// Hedging races a slow primary replica read against the next
+	// replica once it exceeds the adaptive p95 threshold. Needs
+	// Replication > 1 to have a replica to hedge to.
+	Hedging bool
+	// HedgeAfter fixes the hedge trigger (0 = adaptive per-donor p95).
+	HedgeAfter time.Duration
+	// HedgeRateCap bounds hedges as a fraction of tolerant reads
+	// (0 = core's default of 0.1).
+	HedgeRateCap float64
+	// HealthChecks scores donors (latency/error EWMAs), deprioritizes
+	// browned-out donors for reads and new leases, and proactively
+	// migrates replicas off quarantined donors.
+	HealthChecks bool
 }
 
 // DefaultBedConfig mirrors the paper's default hardware (Table 3) with
@@ -264,6 +283,11 @@ func NewBed(p *sim.Proc, cfg BedConfig) (*Bed, error) {
 		fsCfg.ScrubEvery = cfg.ScrubEvery
 		fsCfg.HeartbeatEvery = cfg.HeartbeatEvery
 		fsCfg.Tenant = cfg.Tenant
+		fsCfg.DeadlineBudget = cfg.DeadlineBudget
+		fsCfg.Hedging = cfg.Hedging
+		fsCfg.HedgeAfter = cfg.HedgeAfter
+		fsCfg.HedgeRateCap = cfg.HedgeRateCap
+		fsCfg.HealthChecks = cfg.HealthChecks
 		if cfg.Retry.MaxAttempts > 0 {
 			fsCfg.Retry = cfg.Retry
 		}
@@ -309,6 +333,7 @@ func NewBed(p *sim.Proc, cfg BedConfig) (*Bed, error) {
 	ecfg.Readahead = cfg.Readahead
 	ecfg.Pushdown = cfg.Pushdown
 	ecfg.DonorPrice = cfg.DonorPrice
+	ecfg.Budget = cfg.DeadlineBudget
 	if cfg.GrantBytes > 0 {
 		ecfg.Grant = cfg.GrantBytes
 	}

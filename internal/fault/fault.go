@@ -54,10 +54,21 @@ var (
 	// fall back exactly as for ErrUnavailable while the integrity layer
 	// repairs from a replica or re-populates via salvage.
 	ErrCorrupt = errors.New("data failed integrity verification (corrupt)")
+	// ErrSlow marks an operation abandoned because it blew its deadline
+	// budget: the donor is alive but too slow to be useful (reclaiming
+	// under pressure, NIC-saturated, about to revoke). It wraps
+	// ErrRetryable — a slow donor is survivable exactly like a transient
+	// failure: retry elsewhere, fall back a tier, or hedge — so every
+	// existing Retryable() classification and fallback ladder handles it
+	// with no new cases.
+	ErrSlow = fmt.Errorf("deadline budget exceeded (slow): %w", ErrRetryable)
 )
 
 // Retryable reports whether err should be retried (wraps ErrRetryable).
 func Retryable(err error) bool { return errors.Is(err, ErrRetryable) }
+
+// Slow reports whether err is a blown deadline budget (wraps ErrSlow).
+func Slow(err error) bool { return errors.Is(err, ErrSlow) }
 
 // RetryPolicy parameterizes the exponential-backoff retry loop.
 type RetryPolicy struct {
@@ -126,12 +137,29 @@ func (rp RetryPolicy) Backoff(attempt int, rng *rand.Rand) time.Duration {
 // in virtual time on p. The returned error is the last error observed,
 // wrapped with the attempt count when retries were exhausted.
 func Retry(p *sim.Proc, rp RetryPolicy, fn func() error) error {
+	return RetryWithin(p, rp, 0, fn)
+}
+
+// RetryWithin is Retry bounded by an absolute virtual-time deadline
+// (zero means none). The loop short-circuits — returning the last error
+// wrapped over ErrSlow — when the deadline has already passed or when
+// the next backoff sleep would cross it: burning the remaining budget
+// on a sleep that cannot be followed by an attempt helps nobody. The
+// attempt itself is never interrupted; per-op cancellation is the
+// transport's job (rmem deadline-bounded reads), this guards the loop.
+func RetryWithin(p *sim.Proc, rp RetryPolicy, deadline time.Duration, fn func() error) error {
 	attempts := rp.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
 	}
 	var err error
 	for attempt := 1; ; attempt++ {
+		if deadline > 0 && p.Now() >= deadline {
+			if err == nil {
+				return fmt.Errorf("retry: no budget left before first attempt: %w", ErrSlow)
+			}
+			return fmt.Errorf("retry: deadline passed after %d attempts (%w): %v", attempt-1, ErrSlow, err)
+		}
 		err = fn()
 		if err == nil || !Retryable(err) {
 			return err
@@ -139,6 +167,10 @@ func Retry(p *sim.Proc, rp RetryPolicy, fn func() error) error {
 		if attempt >= attempts {
 			return fmt.Errorf("gave up after %d attempts: %w", attempt, err)
 		}
-		p.Sleep(rp.Backoff(attempt, p.Rand()))
+		d := rp.Backoff(attempt, p.Rand())
+		if deadline > 0 && p.Now()+d >= deadline {
+			return fmt.Errorf("retry: backoff would cross deadline after %d attempts (%w): %v", attempt, ErrSlow, err)
+		}
+		p.Sleep(d)
 	}
 }

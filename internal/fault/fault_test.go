@@ -110,3 +110,112 @@ func TestTaxonomyDistinct(t *testing.T) {
 		}
 	}
 }
+
+func TestRetryWithinNoBudgetBeforeFirstAttempt(t *testing.T) {
+	k := sim.New(1)
+	k.Go("test", func(p *sim.Proc) {
+		p.Sleep(10 * time.Millisecond)
+		calls := 0
+		err := RetryWithin(p, DefaultRetryPolicy(), 5*time.Millisecond, func() error {
+			calls++
+			return nil
+		})
+		if calls != 0 {
+			t.Errorf("fn ran %d times past a spent deadline", calls)
+		}
+		if !Slow(err) || !Retryable(err) {
+			t.Errorf("want ErrSlow (retryable), got %v", err)
+		}
+	})
+	k.Run(0)
+}
+
+func TestRetryWithinBackoffWouldCrossDeadline(t *testing.T) {
+	k := sim.New(1)
+	k.Go("test", func(p *sim.Proc) {
+		calls := 0
+		// 10 ms base backoff against a 5 ms deadline: the first failure
+		// must short-circuit instead of sleeping through the budget.
+		rp := RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond}
+		start := p.Now()
+		err := RetryWithin(p, rp, p.Now()+5*time.Millisecond, func() error {
+			calls++
+			return fmt.Errorf("down: %w", ErrRetryable)
+		})
+		if calls != 1 {
+			t.Errorf("calls = %d, want 1", calls)
+		}
+		if !Slow(err) {
+			t.Errorf("want ErrSlow, got %v", err)
+		}
+		if waited := p.Now() - start; waited != 0 {
+			t.Errorf("slept %v instead of short-circuiting", waited)
+		}
+	})
+	k.Run(0)
+}
+
+func TestRetryWithinDeadlineGenerousEnough(t *testing.T) {
+	k := sim.New(1)
+	k.Go("test", func(p *sim.Proc) {
+		calls := 0
+		rp := RetryPolicy{MaxAttempts: 5, BaseDelay: time.Millisecond}
+		err := RetryWithin(p, rp, p.Now()+time.Minute, func() error {
+			calls++
+			if calls < 3 {
+				return fmt.Errorf("down: %w", ErrRetryable)
+			}
+			return nil
+		})
+		if err != nil || calls != 3 {
+			t.Errorf("err=%v calls=%d, want success on attempt 3", err, calls)
+		}
+	})
+	k.Run(0)
+}
+
+func TestRetryWithinNonRetryablePassesThrough(t *testing.T) {
+	k := sim.New(1)
+	k.Go("test", func(p *sim.Proc) {
+		want := fmt.Errorf("gone: %w", ErrRevoked)
+		err := RetryWithin(p, DefaultRetryPolicy(), p.Now()+time.Minute, func() error { return want })
+		if !errors.Is(err, ErrRevoked) || Slow(err) {
+			t.Errorf("non-retryable should pass through untouched: %v", err)
+		}
+	})
+	k.Run(0)
+}
+
+
+func TestBackoffCap(t *testing.T) {
+	rp := RetryPolicy{MaxAttempts: 10, BaseDelay: time.Millisecond, MaxDelay: 4 * time.Millisecond, Multiplier: 2}
+	for attempt := 1; attempt <= 10; attempt++ {
+		if d := rp.Backoff(attempt, nil); d > 4*time.Millisecond {
+			t.Errorf("attempt %d: backoff %v exceeds cap", attempt, d)
+		}
+	}
+	if d := rp.Backoff(10, nil); d != 4*time.Millisecond {
+		t.Errorf("deep attempt should sit at the cap, got %v", d)
+	}
+}
+
+func TestSlowClassification(t *testing.T) {
+	// ErrSlow is deliberately a subclass of ErrRetryable, and stays
+	// classified through arbitrary %w chains like the ones rmem and core
+	// build.
+	if !Retryable(ErrSlow) {
+		t.Error("ErrSlow must be retryable")
+	}
+	wrapped := fmt.Errorf("rmem: transfer deadline exceeded (%w)", ErrSlow)
+	doubly := fmt.Errorf("core: read of block 7 blew its budget: %w", wrapped)
+	for _, err := range []error{ErrSlow, wrapped, doubly} {
+		if !Slow(err) || !Retryable(err) {
+			t.Errorf("%v lost its classification", err)
+		}
+	}
+	for _, err := range []error{ErrRetryable, ErrRevoked, ErrUnavailable, ErrCorrupt} {
+		if Slow(err) {
+			t.Errorf("%v must not classify as slow", err)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+package metrics
+
+import "time"
+
+// EWMA is an exponentially weighted moving average over irregularly
+// sampled values. Alpha is the weight of each new observation; the
+// first observation seeds the average directly so a fresh tracker does
+// not ramp up from zero.
+type EWMA struct {
+	Alpha float64
+	v     float64
+	n     int64
+}
+
+// Observe folds x into the average.
+func (e *EWMA) Observe(x float64) {
+	a := e.Alpha
+	if a <= 0 || a > 1 {
+		a = 0.1
+	}
+	if e.n == 0 {
+		e.v = x
+	} else {
+		e.v += a * (x - e.v)
+	}
+	e.n++
+}
+
+// Value returns the current average (0 before any observation).
+func (e *EWMA) Value() float64 { return e.v }
+
+// Count returns the number of observations folded in.
+func (e *EWMA) Count() int64 { return e.n }
+
+// QuantileEWMA tracks a running quantile of a latency stream with O(1)
+// state via the asymmetric stochastic update (Frugal-style): on a
+// sample above the estimate the estimate steps up by step·P, on one
+// below it steps down by step·(1−P), so the equilibrium point is the
+// P-quantile. The step is relative to the current estimate, which makes
+// the tracker scale-free across donors whose latencies differ by orders
+// of magnitude. The first observation seeds the estimate.
+type QuantileEWMA struct {
+	P    float64 // target quantile in (0,1), e.g. 0.95
+	Step float64 // relative step size, e.g. 0.05 (5% of the estimate)
+	q    float64
+	n    int64
+}
+
+// Observe folds sample x into the quantile estimate.
+func (t *QuantileEWMA) Observe(x float64) {
+	p := t.P
+	if p <= 0 || p >= 1 {
+		p = 0.95
+	}
+	step := t.Step
+	if step <= 0 || step > 1 {
+		step = 0.05
+	}
+	if t.n == 0 {
+		t.q = x
+		t.n++
+		return
+	}
+	d := step * t.q
+	if d <= 0 {
+		d = step * x
+	}
+	if x > t.q {
+		t.q += d * p
+	} else if x < t.q {
+		t.q -= d * (1 - p)
+	}
+	if t.q < 0 {
+		t.q = 0
+	}
+	t.n++
+}
+
+// ObserveDuration folds a latency sample in.
+func (t *QuantileEWMA) ObserveDuration(d time.Duration) { t.Observe(float64(d)) }
+
+// Value returns the current quantile estimate (0 before any sample).
+func (t *QuantileEWMA) Value() float64 { return t.q }
+
+// Duration returns the estimate as a time.Duration.
+func (t *QuantileEWMA) Duration() time.Duration { return time.Duration(t.q) }
+
+// Count returns the number of samples folded in.
+func (t *QuantileEWMA) Count() int64 { return t.n }

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestEWMASeedsFromFirstObservation(t *testing.T) {
+	var e EWMA
+	if e.Value() != 0 || e.Count() != 0 {
+		t.Fatal("fresh EWMA not zero")
+	}
+	e.Observe(100)
+	if e.Value() != 100 {
+		t.Errorf("first observation should seed directly, got %v", e.Value())
+	}
+}
+
+func TestEWMAAlphaWeighting(t *testing.T) {
+	e := EWMA{Alpha: 0.5}
+	e.Observe(100)
+	e.Observe(0)
+	if e.Value() != 50 {
+		t.Errorf("alpha 0.5 after 100,0: got %v, want 50", e.Value())
+	}
+	e.Observe(50)
+	if e.Value() != 50 {
+		t.Errorf("observing the mean must not move it, got %v", e.Value())
+	}
+}
+
+func TestEWMADefaultAlpha(t *testing.T) {
+	var e EWMA // zero Alpha falls back to 0.1
+	e.Observe(0)
+	e.Observe(100)
+	if got := e.Value(); got != 10 {
+		t.Errorf("default alpha: got %v, want 10", got)
+	}
+}
+
+func TestEWMAConvergesToShiftedLevel(t *testing.T) {
+	e := EWMA{Alpha: 0.2}
+	for i := 0; i < 50; i++ {
+		e.Observe(10)
+	}
+	for i := 0; i < 50; i++ {
+		e.Observe(90)
+	}
+	if got := e.Value(); got < 85 || got > 90 {
+		t.Errorf("after level shift: got %v, want near 90", got)
+	}
+}
+
+func TestQuantileEWMASeedsAndCounts(t *testing.T) {
+	q := QuantileEWMA{P: 0.95, Step: 0.05}
+	q.ObserveDuration(3 * time.Millisecond)
+	if q.Duration() != 3*time.Millisecond || q.Count() != 1 {
+		t.Errorf("seed: %v / %d", q.Duration(), q.Count())
+	}
+}
+
+// TestQuantileEWMAConverges feeds a uniform stream and checks the
+// estimate settles near the true quantile. The asymmetric update's
+// equilibrium is the P-quantile; with a 5% relative step the steady
+// state oscillates, so the tolerance is loose.
+func TestQuantileEWMAConverges(t *testing.T) {
+	for _, p := range []float64{0.5, 0.95} {
+		q := QuantileEWMA{P: p, Step: 0.05}
+		rng := rand.New(rand.NewSource(7))
+		for i := 0; i < 20000; i++ {
+			q.Observe(100 + 100*rng.Float64()) // uniform on [100, 200)
+		}
+		want := 100 + 100*p
+		if got := q.Value(); got < want*0.85 || got > want*1.15 {
+			t.Errorf("P=%v: estimate %v not within 15%% of %v", p, got, want)
+		}
+	}
+}
+
+// TestQuantileEWMAAsymmetry documents the breaker-relevant dynamic: a
+// p95 tracker climbs toward a sustained slow mode much faster than it
+// decays back, which is why donor recovery is probe-driven rather than
+// drift-driven (see core/health.go).
+func TestQuantileEWMAAsymmetry(t *testing.T) {
+	q := QuantileEWMA{P: 0.95, Step: 0.05}
+	q.Observe(100)
+	for i := 0; i < 50; i++ {
+		q.Observe(1000)
+	}
+	up := q.Value()
+	if up < 500 {
+		t.Fatalf("50 slow samples only reached %v", up)
+	}
+	for i := 0; i < 50; i++ {
+		q.Observe(100)
+	}
+	down := q.Value()
+	if down < up*0.8 {
+		t.Errorf("p95 decayed too fast (%v -> %v): the asymmetric step should hold it up", up, down)
+	}
+}
+
+func TestQuantileEWMANeverNegative(t *testing.T) {
+	q := QuantileEWMA{P: 0.5, Step: 1}
+	q.Observe(1)
+	for i := 0; i < 100; i++ {
+		q.Observe(-1000)
+	}
+	if q.Value() < 0 {
+		t.Errorf("estimate went negative: %v", q.Value())
+	}
+}

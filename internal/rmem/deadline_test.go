@@ -1,0 +1,148 @@
+package rmem
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"remotedb/internal/fault"
+	"remotedb/internal/hw/nic"
+	"remotedb/internal/sim"
+)
+
+// TestReadWithinZeroDeadlinePlainRead verifies deadline 0 degenerates to
+// an ordinary transfer.
+func TestReadWithinZeroDeadlinePlainRead(t *testing.T) {
+	k := sim.New(1)
+	m := testServer(k, "m1")
+	db := testServer(k, "db1")
+	k.Go("setup", func(p *sim.Proc) {
+		pool, _ := NewPool(p, m, 1<<20, 1)
+		mr, _ := pool.Acquire()
+		c := NewClient(p, db, DefaultClientConfig())
+		tr := NewTransport(nic.ProtoRDMA)
+		want := bytes.Repeat([]byte{0xAB}, 8192)
+		if err := tr.Write(p, c, mr, 0, want); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 8192)
+		if err := ReadWithin(p, tr, c, mr, 0, got, 0); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Error("unbounded ReadWithin returned wrong bytes")
+		}
+		if c.DeadlineMisses != 0 {
+			t.Errorf("DeadlineMisses = %d on the unbounded path", c.DeadlineMisses)
+		}
+	})
+	k.Run(0)
+}
+
+// TestReadWithinGenerousDeadline verifies a deadline far past the
+// transfer time returns the correct data with no miss recorded.
+func TestReadWithinGenerousDeadline(t *testing.T) {
+	k := sim.New(1)
+	m := testServer(k, "m1")
+	db := testServer(k, "db1")
+	k.Go("setup", func(p *sim.Proc) {
+		pool, _ := NewPool(p, m, 1<<20, 1)
+		mr, _ := pool.Acquire()
+		c := NewClient(p, db, DefaultClientConfig())
+		tr := NewTransport(nic.ProtoRDMA)
+		want := bytes.Repeat([]byte{0x5C}, 8192)
+		if err := tr.Write(p, c, mr, 0, want); err != nil {
+			t.Fatal(err)
+		}
+		got := make([]byte, 8192)
+		if err := ReadWithin(p, tr, c, mr, 0, got, p.Now()+time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Error("bounded ReadWithin returned wrong bytes")
+		}
+		if c.DeadlineMisses != 0 {
+			t.Errorf("DeadlineMisses = %d", c.DeadlineMisses)
+		}
+	})
+	k.Run(0)
+}
+
+// TestReadWithinMissReturnsErrSlow injects donor-side slowness far past
+// the deadline: the caller gets ErrSlow at the deadline (not after the
+// full transfer), the miss counter ticks, and the late completion lands
+// in a private buffer, leaving the caller's memory untouched.
+func TestReadWithinMissReturnsErrSlow(t *testing.T) {
+	k := sim.New(1)
+	m := testServer(k, "m1")
+	db := testServer(k, "db1")
+	k.Go("setup", func(p *sim.Proc) {
+		pool, _ := NewPool(p, m, 1<<20, 1)
+		mr, _ := pool.Acquire()
+		c := NewClient(p, db, DefaultClientConfig())
+		tr := NewTransport(nic.ProtoRDMA)
+		if err := tr.Write(p, c, mr, 0, bytes.Repeat([]byte{0xEE}, 8192)); err != nil {
+			t.Fatal(err)
+		}
+		m.SetServiceDelay(50 * time.Millisecond)
+		dst := bytes.Repeat([]byte{0x11}, 8192)
+		start := p.Now()
+		err := ReadWithin(p, tr, c, mr, 0, dst, p.Now()+time.Millisecond)
+		if !fault.Slow(err) || !fault.Retryable(err) {
+			t.Fatalf("err = %v, want ErrSlow (retryable)", err)
+		}
+		if waited := p.Now() - start; waited > 2*time.Millisecond {
+			t.Errorf("caller blocked %v past a 1ms deadline", waited)
+		}
+		if c.DeadlineMisses != 1 {
+			t.Errorf("DeadlineMisses = %d, want 1", c.DeadlineMisses)
+		}
+		for _, b := range dst {
+			if b != 0x11 {
+				t.Fatal("abandoned read clobbered caller buffer")
+			}
+		}
+		// Let the orphaned transfer drain, then confirm the donor works
+		// again once the slowness clears.
+		p.Sleep(100 * time.Millisecond)
+		m.SetServiceDelay(0)
+		got := make([]byte, 8192)
+		if err := ReadWithin(p, tr, c, mr, 0, got, p.Now()+time.Second); err != nil {
+			t.Fatal(err)
+		}
+		if got[0] != 0xEE {
+			t.Error("post-recovery read returned wrong bytes")
+		}
+	})
+	k.Run(0)
+}
+
+// TestTransportBudgetCheckAtIssue verifies both transports refuse to
+// start a transfer whose proc deadline has already passed.
+func TestTransportBudgetCheckAtIssue(t *testing.T) {
+	for _, proto := range []nic.Protocol{nic.ProtoRDMA, nic.ProtoSMB} {
+		k := sim.New(1)
+		m := testServer(k, "m1")
+		db := testServer(k, "db1")
+		k.Go("setup", func(p *sim.Proc) {
+			pool, _ := NewPool(p, m, 1<<20, 1)
+			mr, _ := pool.Acquire()
+			c := NewClient(p, db, DefaultClientConfig())
+			tr := NewTransport(proto)
+			p.Sleep(10 * time.Millisecond)
+			p.SetDeadline(p.Now() - time.Millisecond)
+			buf := make([]byte, 4096)
+			if err := tr.Read(p, c, mr, 0, buf); !fault.Slow(err) {
+				t.Errorf("%v: read past deadline: err = %v, want ErrSlow", proto, err)
+			}
+			if err := tr.Write(p, c, mr, 0, buf); !fault.Slow(err) {
+				t.Errorf("%v: write past deadline: err = %v, want ErrSlow", proto, err)
+			}
+			if c.DeadlineMisses != 2 {
+				t.Errorf("%v: DeadlineMisses = %d, want 2", proto, c.DeadlineMisses)
+			}
+			p.SetDeadline(0)
+		})
+		k.Run(0)
+	}
+}

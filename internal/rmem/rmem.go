@@ -55,6 +55,11 @@ func (mr *MR) Revoked() bool { return mr.revoked }
 // lease a replacement.
 var ErrRevoked = fmt.Errorf("rmem: memory region revoked (%w)", fault.ErrRevoked)
 
+// ErrSlow is returned when a transfer is abandoned because it blew its
+// deadline budget. It wraps fault.ErrSlow (itself retryable): the donor
+// may be fine in a moment, or a replica can serve the read now.
+var ErrSlow = fmt.Errorf("rmem: transfer deadline exceeded (%w)", fault.ErrSlow)
+
 // Fault-injection primitives. These mutate the stored bytes directly,
 // bypassing the transport (no virtual time, no staging, no encryption),
 // modelling silent medium faults — a DRAM bit flip on the donor, a torn
@@ -278,6 +283,12 @@ type Client struct {
 	// mark, attributing batching wins to round trips vs queueing.
 	StagingContention metrics.Contention
 
+	// DeadlineMisses counts transfers abandoned because they blew their
+	// deadline budget (returned ErrSlow). The wire/staging cost of an
+	// abandoned transfer is still paid — cancelling an in-flight RDMA
+	// refunds nothing — only the caller stops waiting.
+	DeadlineMisses int64
+
 	// DonorCPU prices donor-side eval: a multiplier on the donor CPU time
 	// ScanPush charges (1.0 = donor cycles cost the same as the model's
 	// calibrated scan rate; >1 models donors that are busy or throttled).
@@ -406,10 +417,19 @@ func (t *rdmaTransport) xfer(p *sim.Proc, c *Client, mr *MR, off int, buf []byte
 	if err := checkRange(mr, off, len(buf)); err != nil {
 		return err
 	}
+	if err := checkBudget(p, c); err != nil {
+		return err
+	}
 	prof := nic.ProfileFor(nic.ProtoRDMA)
 	c.acquireStaging(p, 1)
 	do := func() {
 		p.Sleep(prof.ClientPost)
+		// A donor under memory pressure (reclaiming, NIC-saturated)
+		// services one-sided reads late: the pages being reclaimed stall
+		// the DMA even though no remote CPU is involved.
+		if d := mr.Owner.ServiceDelay(); d > 0 {
+			p.Sleep(d)
+		}
 		if c.Reg == RegOnDemand {
 			// Register the caller's buffer for this one transfer.
 			p.Sleep(nic.RegisterCost(len(buf)))
@@ -504,6 +524,9 @@ func (t *smbTransport) xfer(p *sim.Proc, c *Client, mr *MR, off int, buf []byte,
 	if err := checkRange(mr, off, len(buf)); err != nil {
 		return err
 	}
+	if err := checkBudget(p, c); err != nil {
+		return err
+	}
 	prof := t.profile
 	// Client-side issue cost (system call, SMB client stack).
 	c.Server.Work(p, prof.ClientPost)
@@ -514,6 +537,9 @@ func (t *smbTransport) xfer(p *sim.Proc, c *Client, mr *MR, off int, buf []byte,
 	mr.Owner.Work(p, prof.ServerCPUCharge)
 	if rest := prof.ServerService - prof.ServerCPUCharge; rest > 0 {
 		p.Sleep(rest)
+	}
+	if d := mr.Owner.ServiceDelay(); d > 0 {
+		p.Sleep(d) // slow donor: the file-server stage is starved for CPU
 	}
 	fs.Release(1)
 	// Payload on the wire.
@@ -550,3 +576,62 @@ func (t *smbTransport) Write(p *sim.Proc, c *Client, mr *MR, off int, src []byte
 // would fall back to async completion (future work in the paper); the
 // sync transport exposes it for the adaptive-mode extension.
 const SyncSpinThreshold = 50 * time.Microsecond
+
+// checkBudget enforces the process's deadline budget at op issue: an
+// exhausted budget abandons the op before it consumes a staging slot or
+// wire time. Ops never started cost nothing, unlike ops abandoned
+// mid-flight (ReadWithin), whose wire cost is sunk.
+func checkBudget(p *sim.Proc, c *Client) error {
+	if dl := p.Deadline(); dl > 0 && p.Now() >= dl {
+		c.DeadlineMisses++
+		return fmt.Errorf("rmem: budget exhausted before issue: %w", ErrSlow)
+	}
+	return nil
+}
+
+// ReadWithin performs t.Read bounded by an absolute virtual-time
+// deadline (0 = unbounded, plain Read). The transfer runs in a detached
+// process reading into a private buffer; the caller waits for whichever
+// comes first, completion or the deadline timer. On timeout the caller
+// gets ErrSlow immediately and the orphaned transfer keeps running —
+// abandoning an in-flight RDMA refunds neither the staging slot nor the
+// wire time — but its bytes land in the private buffer and are
+// discarded, so a late completion can never clobber caller memory the
+// caller has since reused.
+func ReadWithin(p *sim.Proc, t Transport, c *Client, mr *MR, off int, dst []byte, deadline time.Duration) error {
+	if deadline <= 0 {
+		return t.Read(p, c, mr, off, dst)
+	}
+	if p.Now() >= deadline {
+		c.DeadlineMisses++
+		return fmt.Errorf("rmem: budget exhausted before read: %w", ErrSlow)
+	}
+	k := p.Kernel()
+	var (
+		done bool
+		rerr error
+	)
+	buf := make([]byte, len(dst))
+	cond := sim.NewCond(k)
+	k.Go("rmem-deadline-read", func(cp *sim.Proc) {
+		rerr = t.Read(cp, c, mr, off, buf)
+		done = true
+		cond.Broadcast()
+	})
+	timedOut := false
+	k.After(deadline-p.Now(), func() {
+		timedOut = true
+		cond.Broadcast()
+	})
+	for !done && !timedOut {
+		cond.Wait(p)
+	}
+	if done {
+		if rerr == nil {
+			copy(dst, buf)
+		}
+		return rerr
+	}
+	c.DeadlineMisses++
+	return fmt.Errorf("rmem: read of %s missed deadline: %w", mr.ID, ErrSlow)
+}

@@ -83,9 +83,10 @@ func (k *Kernel) Rand() *rand.Rand { return k.rng }
 // Proc is a simulation process. All blocking methods must be called from
 // the goroutine running the process.
 type Proc struct {
-	k      *Kernel
-	name   string
-	resume chan struct{}
+	k        *Kernel
+	name     string
+	resume   chan struct{}
+	deadline time.Duration // absolute virtual time; 0 = no deadline
 }
 
 // Name returns the name the process was spawned with.
@@ -96,6 +97,16 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 
 // Now returns the current virtual time.
 func (p *Proc) Now() time.Duration { return p.k.Now() }
+
+// SetDeadline attaches an absolute virtual-time deadline to the process
+// (0 clears it). The kernel never enforces it; it is a goroutine-local
+// budget that deadline-aware layers (rmem transports, the file layer's
+// retry loops) consult so a per-query budget flows down a call chain
+// without threading a context parameter through every interface.
+func (p *Proc) SetDeadline(t time.Duration) { p.deadline = t }
+
+// Deadline returns the process's absolute deadline (0 = none).
+func (p *Proc) Deadline() time.Duration { return p.deadline }
 
 // Rand returns the kernel RNG.
 func (p *Proc) Rand() *rand.Rand { return p.k.rng }

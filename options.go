@@ -44,7 +44,15 @@ var (
 	ErrNotFound    = fault.ErrNotFound
 	ErrClosed      = fault.ErrClosed
 	ErrCorrupt     = fault.ErrCorrupt
+
+	// ErrSlow marks an operation abandoned because its deadline budget
+	// ran out while a donor was slow (see WithDeadlineBudget). It wraps
+	// ErrRetryable: the data is intact, only this attempt was slow.
+	ErrSlow = fault.ErrSlow
 )
+
+// Slow reports whether err is a blown deadline budget (wraps ErrSlow).
+func Slow(err error) bool { return fault.Slow(err) }
 
 // Retryable reports whether err is classified transient (wraps
 // ErrRetryable), i.e. worth retrying with backoff.
@@ -106,6 +114,11 @@ type settings struct {
 	hbEvery      time.Duration
 	tenant       string
 	quotas       map[string]int64
+	budget       time.Duration
+	hedging      *bool
+	hedgeAfter   time.Duration
+	hedgeCap     float64
+	healthChecks *bool
 }
 
 // Option parameterizes the Start*/Mount*/NewTestBed constructors.
@@ -295,6 +308,41 @@ func WithTenantQuota(name string, bytes int64) Option {
 	}
 }
 
+// WithDeadlineBudget bounds every remote-memory transfer with a
+// deadline budget: an op still in flight past the budget is abandoned
+// with an error wrapping ErrRetryable (classified by Slow), and the
+// access falls back to the local tier instead of riding a slow donor.
+// On StartEngine the same duration is stamped on each query as its
+// per-query budget, shared by every remote read the query issues.
+// Consumed by MountRemoteFS, StartEngine and NewTestBed.
+func WithDeadlineBudget(d time.Duration) Option { return func(s *settings) { s.budget = d } }
+
+// WithHedging races a slow primary replica read against the next
+// replica: once the primary exceeds the donor's learned p95 latency
+// (see WithHedgeAfter for a fixed trigger), the same read fires at a
+// second replica and the first verified frame wins. Requires
+// WithReplication(k>1) to have a replica to hedge to. Consumed by
+// MountRemoteFS and NewTestBed.
+func WithHedging(on bool) Option { return func(s *settings) { s.hedging = &on } }
+
+// WithHedgeAfter fixes the hedge trigger latency instead of the
+// adaptive per-donor p95. Consumed by MountRemoteFS and NewTestBed.
+func WithHedgeAfter(d time.Duration) Option { return func(s *settings) { s.hedgeAfter = d } }
+
+// WithHedgeRateCap bounds hedged reads as a fraction of tolerant reads
+// (default 0.1), so hedging cannot double wire load when the whole
+// fleet slows at once. Consumed by MountRemoteFS and NewTestBed.
+func WithHedgeRateCap(frac float64) Option { return func(s *settings) { s.hedgeCap = frac } }
+
+// WithHealthChecks scores every donor (latency and error-rate EWMAs)
+// and runs a three-state breaker over the scores: browned-out donors
+// are read last and deprioritized for new leases (the holder's avoid
+// set piggybacks on its batched heartbeat so the broker deprioritizes
+// them fleet-wide), quarantined donors get their replicas proactively
+// migrated to healthy donors, and probe reads let a recovered donor
+// earn its way back. Consumed by MountRemoteFS and NewTestBed.
+func WithHealthChecks(on bool) Option { return func(s *settings) { s.healthChecks = &on } }
+
 // StartBroker creates a cluster-scale memory broker backed by store,
 // configured by options (WithLeaseTTL, WithBrokerShards,
 // WithTenantQuota). With one shard (the default) it behaves exactly
@@ -318,7 +366,9 @@ func StartBroker(p *Proc, store *MetaStore, opts ...Option) *BrokerCluster {
 // server owning client, configured by options (WithProtocol,
 // WithPlacement, WithAutoRenew, WithRecovery, WithRetryPolicy,
 // WithSalvage, WithReplication, WithIntegrity, WithScrubEvery,
-// WithTenant, WithHeartbeatEvery). b is any LeaseService — a
+// WithTenant, WithHeartbeatEvery, WithDeadlineBudget, WithHedging,
+// WithHedgeAfter, WithHedgeRateCap, WithHealthChecks). b is any
+// LeaseService — a
 // single-shard *Broker or the sharded *BrokerCluster from StartBroker.
 func MountRemoteFS(p *Proc, b LeaseService, client *RemoteClient, opts ...Option) *RemoteFS {
 	s := apply(opts)
@@ -356,13 +406,29 @@ func MountRemoteFS(p *Proc, b LeaseService, client *RemoteClient, opts ...Option
 	if s.hbEvery > 0 {
 		cfg.HeartbeatEvery = s.hbEvery
 	}
+	if s.budget > 0 {
+		cfg.DeadlineBudget = s.budget
+	}
+	if s.hedging != nil {
+		cfg.Hedging = *s.hedging
+	}
+	if s.hedgeAfter > 0 {
+		cfg.HedgeAfter = s.hedgeAfter
+	}
+	if s.hedgeCap > 0 {
+		cfg.HedgeRateCap = s.hedgeCap
+	}
+	if s.healthChecks != nil {
+		cfg.HealthChecks = *s.healthChecks
+	}
 	return core.NewFS(p, b, client, cfg)
 }
 
 // StartEngine assembles the mini-RDBMS on server over the given storage
 // placement, configured by options (WithBufferFrames, WithBPExtSlots,
 // WithGrant, WithSemCache, WithPlanCache, WithDOP, WithEviction,
-// WithBatchedIO, WithReadahead, WithPushdown, WithDonorCPU).
+// WithBatchedIO, WithReadahead, WithPushdown, WithDonorCPU,
+// WithDeadlineBudget).
 func StartEngine(p *Proc, server *Server, files EngineFiles, opts ...Option) (*Engine, error) {
 	s := apply(opts)
 	frames := s.bufferFrames
@@ -401,6 +467,9 @@ func StartEngine(p *Proc, server *Server, files EngineFiles, opts ...Option) (*E
 	if s.donorPrice > 0 {
 		cfg.DonorPrice = s.donorPrice
 	}
+	if s.budget > 0 {
+		cfg.Budget = s.budget
+	}
 	return engine.New(p, server, files, cfg)
 }
 
@@ -409,7 +478,9 @@ func StartEngine(p *Proc, server *Server, files EngineFiles, opts ...Option) (*E
 // WithRetryPolicy, WithRecovery, WithRemoteServers, WithBufferFrames,
 // WithBPExtBytes, WithReplication, WithIntegrity, WithScrubEvery,
 // WithEviction, WithBatchedIO, WithReadahead, WithPushdown,
-// WithDonorCPU, WithBrokerShards, WithHeartbeatEvery, WithTenantQuota).
+// WithDonorCPU, WithBrokerShards, WithHeartbeatEvery, WithTenantQuota,
+// WithDeadlineBudget, WithHedging, WithHedgeAfter, WithHedgeRateCap,
+// WithHealthChecks).
 func NewTestBed(p *Proc, d Design, opts ...Option) (*Bed, error) {
 	s := apply(opts)
 	cfg := exp.DefaultBedConfig(d)
@@ -469,6 +540,21 @@ func NewTestBed(p *Proc, d Design, opts ...Option) (*Bed, error) {
 	}
 	if s.quotas != nil {
 		cfg.TenantQuotas = s.quotas
+	}
+	if s.budget > 0 {
+		cfg.DeadlineBudget = s.budget
+	}
+	if s.hedging != nil {
+		cfg.Hedging = *s.hedging
+	}
+	if s.hedgeAfter > 0 {
+		cfg.HedgeAfter = s.hedgeAfter
+	}
+	if s.hedgeCap > 0 {
+		cfg.HedgeRateCap = s.hedgeCap
+	}
+	if s.healthChecks != nil {
+		cfg.HealthChecks = *s.healthChecks
 	}
 	return exp.NewBed(p, cfg)
 }
